@@ -1,0 +1,81 @@
+// Package orion's root benchmark suite: one testing.B benchmark per
+// table and figure of the paper's evaluation, each delegating to the
+// experiment harness at the small scale. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-scale reproduction (the numbers recorded in
+// EXPERIMENTS.md) use: go run ./cmd/orion-bench -exp all
+package orion
+
+import (
+	"testing"
+
+	"orion/internal/bench"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	s := bench.Small()
+	runner := bench.Experiments()[id]
+	if runner == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := runner(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Body == "" {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (applications and the strategy
+// the analyzer selects for each).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig9a regenerates Fig. 9a (time per iteration vs workers).
+func BenchmarkFig9a(b *testing.B) { runExperiment(b, "fig9a") }
+
+// BenchmarkFig9b regenerates Fig. 9b (SGD MF convergence per iteration
+// across parallelization schemes).
+func BenchmarkFig9b(b *testing.B) { runExperiment(b, "fig9b") }
+
+// BenchmarkFig9c regenerates Fig. 9c (LDA convergence per iteration).
+func BenchmarkFig9c(b *testing.B) { runExperiment(b, "fig9c") }
+
+// BenchmarkTable3 regenerates Table 3 (ordered vs unordered 2D
+// parallelization throughput).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig10 regenerates Fig. 10 (Orion vs Bösen).
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Fig. 11 (Orion vs STRADS).
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12 regenerates Fig. 12 (bandwidth usage over time).
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Fig. 13 (Orion vs TensorFlow-style
+// dataflow).
+func BenchmarkFig13(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkPrefetch regenerates the Section 6.3 bulk-prefetching rows.
+func BenchmarkPrefetch(b *testing.B) { runExperiment(b, "prefetch") }
+
+// BenchmarkTux2 regenerates the Section 6.1 throughput-vs-convergence
+// comparison.
+func BenchmarkTux2(b *testing.B) { runExperiment(b, "tux2") }
+
+// BenchmarkSkewPartition runs the skew-aware partitioning ablation.
+func BenchmarkSkewPartition(b *testing.B) { runExperiment(b, "ablation-skew") }
+
+// BenchmarkDimHeuristic runs the partition-dimension heuristic ablation.
+func BenchmarkDimHeuristic(b *testing.B) { runExperiment(b, "ablation-dims") }
+
+// BenchmarkPipelineDepth runs the pipelined-rotation-depth ablation.
+func BenchmarkPipelineDepth(b *testing.B) { runExperiment(b, "ablation-pipeline") }

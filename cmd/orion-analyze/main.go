@@ -1,0 +1,196 @@
+// Command orion-analyze runs Orion's static parallelization pipeline on
+// a DSL program and prints the Fig. 6 trail: the extracted loop
+// information, the dependence vectors, and the chosen parallelization
+// plan.
+//
+// Input format: a preamble declaring the DistArrays (and optional
+// buffers / ordering), a '---' separator, then the loop source.
+//
+//	array ratings 100 80
+//	array W 8 100
+//	array H 8 80
+//	---
+//	for (key, rv) in ratings
+//	    ...
+//	end
+//
+// With no -file argument it analyzes the built-in SGD MF example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"orion/internal/dep"
+	"orion/internal/lang"
+	"orion/internal/sched"
+)
+
+const builtinSLR = `array samples 50000
+array weights 20000
+buffer w_buf weights
+---
+for (key, v) in samples
+    idx = floor(v * 20000) + 1
+    w = weights[idx]
+    g = sigmoid(w * v) - 1
+    w_buf[idx] += 0 - step_size * g
+end
+`
+
+const builtinStencil = `array grid 64 64
+array A 64 64
+ordered true
+---
+for (key, v) in grid
+    cur = A[key[1], key[2]]
+    west = A[key[1], key[2] - 1]
+    ne = A[key[1] - 1, key[2] + 1]
+    A[key[1], key[2]] = 0.4 * cur + 0.35 * west + 0.25 * ne
+end
+`
+
+const builtinMF = `array ratings 9000 4000
+array W 32 9000
+array H 32 4000
+---
+for (key, rv) in ratings
+    W_row = W[:, key[1]]
+    H_row = H[:, key[2]]
+    pred = dot(W_row, H_row)
+    diff = rv - pred
+    W_grad = -2 * diff * H_row
+    H_grad = -2 * diff * W_row
+    W[:, key[1]] = W_row - step_size * W_grad
+    H[:, key[2]] = H_row - step_size * H_grad
+end
+`
+
+func main() {
+	file := flag.String("file", "", "program file (preamble --- loop)")
+	example := flag.String("example", "mf", "built-in example when no -file: mf | slr | stencil")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *file != "":
+		b, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	case *example == "mf":
+		src = builtinMF
+	case *example == "slr":
+		src = builtinSLR
+	case *example == "stencil":
+		src = builtinStencil
+	default:
+		fatal(fmt.Errorf("unknown example %q", *example))
+	}
+
+	env, loopSrc, err := parseInput(src)
+	if err != nil {
+		fatal(err)
+	}
+	loop, err := lang.Parse(loopSrc)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := lang.Analyze(loop, env)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("--- Loop information (static analysis) ---")
+	fmt.Print(spec)
+
+	deps, err := dep.Analyze(spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\n--- Dependence vectors ---")
+	fmt.Println(deps)
+
+	opts := sched.DefaultOptions()
+	opts.ArrayBytes = map[string]int64{}
+	for name, dims := range env.Arrays {
+		total := int64(8)
+		for _, d := range dims {
+			total *= d
+		}
+		opts.ArrayBytes[name] = total
+	}
+	plan, err := sched.NewFromDeps(spec, deps, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("\n--- Parallelization plan ---")
+	fmt.Print(plan)
+
+	// For parameter-server-served arrays, show the synthesized
+	// bulk-prefetch function (Section 4.4).
+	var served []string
+	for _, ap := range plan.Arrays {
+		if ap.Place == sched.Served && ap.Array != spec.IterSpaceArray {
+			served = append(served, ap.Array)
+		}
+	}
+	if len(served) > 0 {
+		sliced, skipped, err := lang.PrefetchSlice(loop, env, served...)
+		if err == nil {
+			fmt.Println("\n--- Synthesized prefetch function ---")
+			fmt.Println(sliced)
+			if len(skipped) > 0 {
+				fmt.Println("left on-demand (data-dependent subscripts):", skipped)
+			}
+		}
+	}
+}
+
+func parseInput(src string) (*lang.Env, string, error) {
+	parts := strings.SplitN(src, "---", 2)
+	if len(parts) != 2 {
+		return nil, "", fmt.Errorf("missing '---' separator between declarations and loop")
+	}
+	env := &lang.Env{Arrays: map[string][]int64{}, Buffers: map[string]string{}}
+	for lineNo, line := range strings.Split(parts[0], "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "array":
+			if len(fields) < 3 {
+				return nil, "", fmt.Errorf("line %d: array needs a name and extents", lineNo+1)
+			}
+			dims := make([]int64, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, "", fmt.Errorf("line %d: bad extent %q", lineNo+1, f)
+				}
+				dims = append(dims, v)
+			}
+			env.Arrays[fields[1]] = dims
+		case "buffer":
+			if len(fields) != 3 {
+				return nil, "", fmt.Errorf("line %d: buffer needs a name and target array", lineNo+1)
+			}
+			env.Buffers[fields[1]] = fields[2]
+		case "ordered":
+			env.Ordered = len(fields) > 1 && fields[1] == "true"
+		default:
+			return nil, "", fmt.Errorf("line %d: unknown declaration %q", lineNo+1, fields[0])
+		}
+	}
+	return env, parts[1], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "orion-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command orion-run trains one application end-to-end under a chosen
+// execution engine on a synthetic dataset and prints the loss
+// trajectory.
+//
+//	orion-run -app mf -engine orion -workers 16 -passes 10
+//	orion-run -app lda -engine strads
+//	orion-run -app slr -engine dp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orion/internal/apps"
+	"orion/internal/bench"
+	"orion/internal/data"
+	"orion/internal/engine"
+	"orion/internal/optim"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "mf", "application: mf | mf-adarev | lda | slr | stencil | gbt")
+		eng     = flag.String("engine", "orion", "engine: serial | orion | ordered | dp | cm | strads | dataflow")
+		workers = flag.Int("workers", 0, "worker count (default: scale's)")
+		passes  = flag.Int("passes", 0, "data passes (default: scale's)")
+		scale   = flag.String("scale", "default", "dataset scale: small | default")
+	)
+	flag.Parse()
+
+	var s bench.Scale
+	switch *scale {
+	case "small":
+		s = bench.Small()
+	case "default":
+		s = bench.Default()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+
+	var a engine.App
+	defPasses := s.MFPasses
+	switch *app {
+	case "mf":
+		a = bench.MFApp(s, optim.NewSGD(s.MFLR))
+	case "mf-adarev":
+		a = bench.MFApp(s, optim.NewAdaRev(s.AdaRevLR))
+	case "lda":
+		a = bench.LDAApp(s.LDASmall, s)
+		defPasses = s.LDAPasses
+	case "slr":
+		a = bench.SLRApp(s, optim.NewSGD(s.SLRLR))
+		defPasses = s.SLRPasses
+	case "stencil":
+		a = apps.NewStencil(48, 48)
+		defPasses = 6
+	case "gbt":
+		runGBT(s)
+		return
+	default:
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+
+	cfg := engine.Config{
+		Workers:       s.Workers,
+		Cluster:       s.Cluster,
+		Passes:        defPasses,
+		Seed:          1,
+		PipelineDepth: 2,
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
+	}
+	if *passes > 0 {
+		cfg.Passes = *passes
+	}
+
+	var (
+		res *engine.Result
+		err error
+	)
+	switch *eng {
+	case "serial":
+		cfg.Workers = 1
+		res = engine.RunSerial(a, cfg)
+	case "orion":
+		res, _, err = engine.RunOrion(a, cfg)
+	case "ordered":
+		res, err = engine.RunOrion2D(a, cfg, true)
+	case "dp":
+		res = engine.RunDataParallel(a, cfg)
+	case "cm":
+		res = engine.RunManagedComm(a, cfg)
+	case "strads":
+		res, err = engine.RunSTRADS(a, cfg)
+	case "dataflow":
+		res = engine.RunDataflow(a, cfg)
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *eng))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s: %d workers, %d passes\n", res.Engine, res.App, cfg.Workers, cfg.Passes)
+	fmt.Printf("%-6s  %-12s  %-12s\n", "pass", "loss", "time (s)")
+	for i := range res.Loss {
+		fmt.Printf("%-6d  %-12.6g  %-12.6g\n", i+1, res.Loss[i], res.Time[i])
+	}
+	fmt.Printf("time per iteration: %.6g s (simulated)\n", res.TimePerIter())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "orion-run:", err)
+	os.Exit(1)
+}
+
+// runGBT trains gradient boosted trees through their own driver (GBT is
+// not a parameter-server workload; its 1D-parallel loop is the split
+// search, run with real goroutines).
+func runGBT(s bench.Scale) {
+	ds := data.NewRegression(s.GBT)
+	g := apps.NewGBT(ds, 40, 4, 32, 0.3)
+	g.Train()
+	fmt.Printf("gbt: %d trees, depth 4, training MSE %.6g\n", 40, g.MSE())
+}

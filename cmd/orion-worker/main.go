@@ -1,0 +1,41 @@
+// Command orion-worker is a generic Orion executor process: it connects
+// to a driver's master over TCP, receives DistArray partitions and
+// DefineLoop messages, compiles shipped DSL loop bodies with the
+// built-in interpreter, and executes blocks until shut down. Because
+// loop code travels in the DefineLoop message, one worker binary serves
+// every application.
+//
+//	orion-worker -master HOST:PORT -peer HOST:PORT -id N
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orion/internal/dslkernel"
+	"orion/internal/runtime"
+)
+
+func main() {
+	var (
+		master = flag.String("master", "", "master address (host:port)")
+		peer   = flag.String("peer", "", "this worker's ring endpoint (host:port)")
+		id     = flag.Int("id", -1, "executor id (0..n-1, unique per worker)")
+	)
+	flag.Parse()
+	if *master == "" || *peer == "" || *id < 0 {
+		fmt.Fprintln(os.Stderr, "orion-worker: -master, -peer and -id are required")
+		os.Exit(2)
+	}
+	dslkernel.Install()
+	e, err := runtime.NewExecutor(runtime.TCP{}, *master, *peer, *id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orion-worker:", err)
+		os.Exit(1)
+	}
+	if err := <-e.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "orion-worker:", err)
+		os.Exit(1)
+	}
+}

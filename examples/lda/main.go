@@ -1,0 +1,51 @@
+// LDA topic modeling with collapsed Gibbs sampling, parallelized by
+// Orion's rotation scheduling: document-topic counts stay worker-local,
+// word-topic counts rotate between workers, and the global topic totals
+// are a non-critical dependence exempted through a DistArray Buffer.
+//
+// Run with: go run ./examples/lda
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orion/internal/apps"
+	"orion/internal/cluster"
+	"orion/internal/data"
+	"orion/internal/engine"
+)
+
+func main() {
+	corpus := data.NewCorpus(data.CorpusConfig{
+		Docs: 200, Vocab: 120, Topics: 8, MeanDocLen: 40, Seed: 3,
+	})
+	newApp := func() *apps.LDA { return apps.NewLDA(corpus, 8, 0.5, 0.1) }
+
+	cl := cluster.Default()
+	cl.Machines = 4
+	cl.WorkersPerMachine = 4
+	cl.FlopsPerSec = 1e6
+	cl.LatencySec = 1e-5
+	cfg := engine.Config{Workers: 16, Cluster: cl, Passes: 10, Seed: 1, PipelineDepth: 2}
+
+	orion, plan, err := engine.RunOrion(newApp(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Plan for the Gibbs sampling loop:")
+	fmt.Print(plan)
+
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	serial := engine.RunSerial(newApp(), serialCfg)
+	dp := engine.RunDataParallel(newApp(), cfg)
+
+	fmt.Println("\nNegative collapsed log-likelihood (lower is better):")
+	fmt.Printf("%-6s  %-14s  %-14s  %-14s\n", "pass", "serial", "data-parallel", "orion (2D)")
+	for i := range orion.Loss {
+		fmt.Printf("%-6d  %-14.6g  %-14.6g  %-14.6g\n", i+1, serial.Loss[i], dp.Loss[i], orion.Loss[i])
+	}
+	fmt.Printf("\ntime/iter: serial %.4gs, orion %.4gs (%d workers)\n",
+		serial.TimePerIter(), orion.TimePerIter(), cfg.Workers)
+}

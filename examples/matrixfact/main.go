@@ -1,0 +1,63 @@
+// Matrix factorization under every parallelization strategy the paper
+// compares: serial, Bösen-style data parallelism (plain and with
+// managed communication), Orion's dependence-aware 2D rotation (plain
+// SGD and AdaRev), and STRADS-style manual model parallelism.
+//
+// Run with: go run ./examples/matrixfact
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orion/internal/apps"
+	"orion/internal/cluster"
+	"orion/internal/data"
+	"orion/internal/engine"
+	"orion/internal/optim"
+)
+
+func main() {
+	ratings := data.NewRatings(data.RatingsConfig{
+		Rows: 200, Cols: 150, NNZ: 10000, Rank: 12, Noise: 0.05, Skew: 1.1, Seed: 7,
+	})
+	newApp := func(opt optim.Optimizer) *apps.MF { return apps.NewMF(ratings, opt) }
+
+	cl := cluster.Default()
+	cl.Machines = 4
+	cl.WorkersPerMachine = 8
+	cl.FlopsPerSec = 1e6 // slow cores: compute dominates at this scale
+	cl.LatencySec = 1e-5
+	cfg := engine.Config{Workers: 32, Cluster: cl, Passes: 12, Seed: 1, PipelineDepth: 2}
+
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	serial := engine.RunSerial(newApp(optim.NewSGD(0.08)), serialCfg)
+
+	dp := engine.RunDataParallel(newApp(optim.NewSGD(0.06)), cfg)
+	cm := engine.RunManagedComm(newApp(optim.NewAdaRev(0.3)), cfg)
+	orion, plan, err := engine.RunOrion(newApp(optim.NewSGD(0.08)), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orionA, err := engine.RunOrion2D(newApp(optim.NewAdaRev(0.3)), cfg, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	strads, err := engine.RunSTRADS(newApp(optim.NewSGD(0.08)), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Orion's automatically derived plan:")
+	fmt.Print(plan)
+	fmt.Println()
+
+	fmt.Printf("%-28s  %-12s  %-14s\n", "engine", "final loss", "time/iter (s)")
+	for _, r := range []*engine.Result{serial, dp, cm, orion, orionA, strads} {
+		fmt.Printf("%-28s  %-12.5g  %-14.6g\n", r.Engine, r.FinalLoss(), r.TimePerIter())
+	}
+	fmt.Println("\nLower loss at equal passes = better per-iteration convergence;")
+	fmt.Println("dependence-aware engines match serial convergence while data")
+	fmt.Println("parallelism must run at a reduced, stability-tuned step size.")
+}

@@ -1,0 +1,53 @@
+// Wavefront: a grid-relaxation loop whose dependence pattern — vectors
+// (0,1) and (1,-1) — rules out both 1D and 2D parallelization, so
+// Orion's planner finds a unimodular transformation (Section 4.3) and
+// executes the loop as a skewed wavefront: one transformed-time
+// hyperplane per global step, hyperplane iterations split across
+// workers. Because co-scheduled iterations carry no dependence, the
+// parallel execution is bitwise identical to serial execution.
+//
+// Run with: go run ./examples/wavefront
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orion/internal/apps"
+	"orion/internal/cluster"
+	"orion/internal/engine"
+)
+
+func main() {
+	app := apps.NewStencil(48, 48)
+
+	// The static pipeline: dependence vectors force a transform.
+	fmt.Println("Loop information:")
+	fmt.Print(app.LoopSpec())
+
+	cl := cluster.Default()
+	cl.Machines = 2
+	cl.WorkersPerMachine = 4
+	cl.FlopsPerSec = 1e6
+	cl.LatencySec = 1e-5
+	cfg := engine.Config{Workers: 8, Cluster: cl, Passes: 6, Seed: 1}
+
+	par, plan, err := engine.RunOrion(apps.NewStencil(48, 48), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nPlan:")
+	fmt.Print(plan)
+
+	serialCfg := cfg
+	serialCfg.Workers = 1
+	serial := engine.RunSerial(apps.NewStencil(48, 48), serialCfg)
+
+	fmt.Println("\nGrid roughness (must be identical: the wavefront is serializable):")
+	fmt.Printf("%-6s  %-16s  %-16s\n", "pass", "serial", "wavefront (8w)")
+	for i := range par.Loss {
+		fmt.Printf("%-6d  %-16.8f  %-16.8f\n", i+1, serial.Loss[i], par.Loss[i])
+	}
+	fmt.Printf("\ntime/iter: serial %.4gs, wavefront %.4gs\n",
+		serial.TimePerIter(), par.TimePerIter())
+}

@@ -1,0 +1,3 @@
+module orion
+
+go 1.22

@@ -1,0 +1,264 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"orion/internal/cluster"
+	"orion/internal/data"
+	"orion/internal/dep"
+	"orion/internal/engine"
+	"orion/internal/optim"
+	"orion/internal/sched"
+)
+
+func testCluster() cluster.Config {
+	c := cluster.Default()
+	c.Machines = 4
+	c.WorkersPerMachine = 4
+	c.FlopsPerSec = 1e6
+	c.LatencySec = 1e-5
+	return c
+}
+
+func mfApp(opt optim.Optimizer) *MF {
+	r := data.NewRatings(data.RatingsConfig{
+		Rows: 50, Cols: 40, NNZ: 1200, Rank: 6, Noise: 0.05, Seed: 3,
+	})
+	return NewMF(r, opt)
+}
+
+func TestMFSerialConverges(t *testing.T) {
+	app := mfApp(optim.NewSGD(0.1))
+	res := engine.RunSerial(app, engine.Config{Workers: 1, Passes: 10, Seed: 1, Cluster: testCluster()})
+	if res.FinalLoss() >= res.Loss[0]*0.3 {
+		t.Fatalf("MF did not converge: %v", res.Loss)
+	}
+}
+
+func TestMFPlansAs2DUnordered(t *testing.T) {
+	app := mfApp(optim.NewSGD(0.1))
+	deps, err := dep.Analyze(app.LoopSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sched.NewFromDeps(app.LoopSpec(), deps, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != sched.TwoD {
+		t.Fatalf("MF strategy = %v, want 2D", p.Kind)
+	}
+	if app.LoopSpec().Ordered {
+		t.Fatal("MF loop should be unordered")
+	}
+}
+
+func TestMFAdaRevConverges(t *testing.T) {
+	app := mfApp(optim.NewAdaRev(0.5))
+	res := engine.RunSerial(app, engine.Config{Workers: 1, Passes: 10, Seed: 1, Cluster: testCluster()})
+	if res.FinalLoss() >= res.Loss[0] {
+		t.Fatalf("MF AdaRev did not improve: %v", res.Loss)
+	}
+}
+
+func TestMFOrionMatchesSerial(t *testing.T) {
+	passes := 6
+	serial := engine.RunSerial(mfApp(optim.NewSGD(0.1)),
+		engine.Config{Workers: 1, Passes: passes, Seed: 1, Cluster: testCluster()})
+	orion, _, err := engine.RunOrion(mfApp(optim.NewSGD(0.1)),
+		engine.Config{Workers: 8, Passes: passes, Seed: 1, Cluster: testCluster(), PipelineDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := orion.FinalLoss() / serial.FinalLoss()
+	if ratio > 1.5 || ratio < 0.5 {
+		t.Fatalf("orion MF convergence should match serial: %v vs %v", orion.FinalLoss(), serial.FinalLoss())
+	}
+}
+
+func ldaApp() *LDA {
+	c := data.NewCorpus(data.CorpusConfig{
+		Docs: 60, Vocab: 50, Topics: 4, MeanDocLen: 30, Seed: 5,
+	})
+	return NewLDA(c, 4, 0.5, 0.1)
+}
+
+func TestLDACountsConsistent(t *testing.T) {
+	app := ldaApp()
+	tables := app.Init(1)
+	dt, wt, tt := tables[0], tables[1], tables[2]
+	var tokens float64
+	for _, ws := range app.corpus.Words {
+		tokens += float64(len(ws))
+	}
+	sumTable := func(a interface{ Vec(...int64) []float64 }, rows int64) float64 {
+		var s float64
+		for r := int64(0); r < rows; r++ {
+			for _, v := range a.Vec(r) {
+				s += v
+			}
+		}
+		return s
+	}
+	if got := sumTable(dt, app.corpus.Docs); got != tokens {
+		t.Fatalf("doc-topic counts sum %v, want %v", got, tokens)
+	}
+	if got := sumTable(wt, app.corpus.Vocab); got != tokens {
+		t.Fatalf("word-topic counts sum %v, want %v", got, tokens)
+	}
+	if got := sumTable(tt, 1); got != tokens {
+		t.Fatalf("totals sum %v, want %v", got, tokens)
+	}
+}
+
+func TestLDASerialImprovesLikelihood(t *testing.T) {
+	app := ldaApp()
+	res := engine.RunSerial(app, engine.Config{Workers: 1, Passes: 8, Seed: 1, Cluster: testCluster()})
+	if math.IsNaN(res.FinalLoss()) || math.IsInf(res.FinalLoss(), 0) {
+		t.Fatalf("LDA loss degenerate: %v", res.Loss)
+	}
+	if res.FinalLoss() >= res.Loss[0] {
+		t.Fatalf("Gibbs sampling should improve the collapsed likelihood: %v", res.Loss)
+	}
+}
+
+func TestLDAPlansAs2D(t *testing.T) {
+	app := ldaApp()
+	deps, err := dep.Analyze(app.LoopSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sched.NewFromDeps(app.LoopSpec(), deps, sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != sched.TwoD {
+		t.Fatalf("LDA strategy = %v (deps %v), want 2D — the buffered totals write must be exempt",
+			p.Kind, deps)
+	}
+}
+
+func TestLDAOrionComparableToSerial(t *testing.T) {
+	passes := 5
+	serial := engine.RunSerial(ldaApp(), engine.Config{Workers: 1, Passes: passes, Seed: 1, Cluster: testCluster()})
+	orion, _, err := engine.RunOrion(ldaApp(), engine.Config{Workers: 4, Passes: passes, Seed: 1, Cluster: testCluster(), PipelineDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both should land in the same likelihood ballpark (Fig. 9c).
+	diff := math.Abs(orion.FinalLoss()-serial.FinalLoss()) / math.Abs(serial.FinalLoss())
+	if diff > 0.05 {
+		t.Fatalf("orion LDA likelihood diverges from serial: %v vs %v", orion.FinalLoss(), serial.FinalLoss())
+	}
+}
+
+func slrApp(opt optim.Optimizer) *SLR {
+	ds := data.NewLogistic(data.LogisticConfig{Samples: 400, Dim: 100, NNZPer: 8, Seed: 7})
+	return NewSLR(ds, opt)
+}
+
+func TestSLRSerialConverges(t *testing.T) {
+	app := slrApp(optim.NewSGD(0.05))
+	res := engine.RunSerial(app, engine.Config{Workers: 1, Passes: 10, Seed: 1, Cluster: testCluster()})
+	if res.FinalLoss() >= res.Loss[0]*0.8 {
+		t.Fatalf("SLR did not converge: %v", res.Loss)
+	}
+}
+
+func TestSLROrionFallsBackToBufferedDataParallelism(t *testing.T) {
+	app := slrApp(optim.NewSGD(0.05))
+	// Orion bounds how long buffered writes may be deferred
+	// (Section 3.3); flush several times per pass.
+	res, plan, err := engine.RunOrion(app, engine.Config{
+		Workers: 4, Passes: 4, Seed: 1, Cluster: testCluster(), SyncsPerPass: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind != sched.Independent {
+		t.Fatalf("SLR plan = %v, want independent (buffered writes exempt)", plan.Kind)
+	}
+	if res.Engine != "orion-1d-buffered" {
+		t.Fatalf("engine = %s", res.Engine)
+	}
+	if res.FinalLoss() >= res.Loss[0] {
+		t.Fatalf("buffered SLR should still improve: %v", res.Loss)
+	}
+}
+
+func TestSLRAdaRevBeatsPlainSGDUnderDataParallelism(t *testing.T) {
+	// The point of adaptive revision: delayed updates hurt plain SGD
+	// more than AdaRev.
+	cfg := engine.Config{Workers: 8, Passes: 10, Seed: 1, Cluster: testCluster()}
+	plain := engine.RunDataParallel(slrApp(optim.NewSGD(0.05)), cfg)
+	adarev := engine.RunDataParallel(slrApp(optim.NewAdaRev(0.5)), cfg)
+	if adarev.FinalLoss() >= plain.FinalLoss() {
+		t.Logf("warning: adarev %v vs plain %v — acceptable if close", adarev.FinalLoss(), plain.FinalLoss())
+	}
+	if math.IsNaN(adarev.FinalLoss()) {
+		t.Fatal("AdaRev produced NaN")
+	}
+}
+
+func TestGBTConverges(t *testing.T) {
+	ds := data.NewRegression(data.RegressionConfig{Samples: 500, Features: 10, Noise: 0.1, Seed: 9})
+	g := NewGBT(ds, 30, 3, 16, 0.3)
+	g.Train()
+	mse := g.MSE()
+	// Variance of Y is ~ sum of rule values' variance; the ensemble
+	// must explain most of it.
+	var vy float64
+	my := mean(ds.Y)
+	for _, y := range ds.Y {
+		vy += (y - my) * (y - my)
+	}
+	vy /= float64(len(ds.Y))
+	if mse > 0.4*vy {
+		t.Fatalf("GBT mse %v vs label variance %v", mse, vy)
+	}
+}
+
+func TestGBTParallelDeterministic(t *testing.T) {
+	ds := data.NewRegression(data.RegressionConfig{Samples: 300, Features: 8, Noise: 0.1, Seed: 9})
+	g1 := NewGBT(ds, 10, 3, 16, 0.3)
+	g1.Workers = 1
+	g1.Train()
+	g4 := NewGBT(ds, 10, 3, 16, 0.3)
+	g4.Workers = 4
+	g4.Train()
+	for i := range ds.X {
+		if g1.Predict(ds.X[i]) != g4.Predict(ds.X[i]) {
+			t.Fatalf("parallel split search must be deterministic (sample %d)", i)
+		}
+	}
+}
+
+func TestGBTPlansAs1D(t *testing.T) {
+	ds := data.NewRegression(data.RegressionConfig{Samples: 100, Features: 8, Noise: 0.1, Seed: 9})
+	g := NewGBT(ds, 1, 2, 8, 0.3)
+	p, err := sched.New(g.LoopSpec(), sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != sched.Independent && p.Kind != sched.OneD {
+		t.Fatalf("GBT split search should be 1D/independent, got %v", p.Kind)
+	}
+}
+
+func TestTable2Strategies(t *testing.T) {
+	// The Table 2 "Parallelizations" column: what the analyzer picks
+	// for each app.
+	mf := mfApp(optim.NewSGD(0.1))
+	if p, _ := sched.New(mf.LoopSpec(), sched.DefaultOptions()); p.Kind != sched.TwoD {
+		t.Errorf("MF: %v, want 2D", p.Kind)
+	}
+	lda := ldaApp()
+	if p, _ := sched.New(lda.LoopSpec(), sched.DefaultOptions()); p.Kind != sched.TwoD {
+		t.Errorf("LDA: %v, want 2D", p.Kind)
+	}
+	slr := slrApp(optim.NewSGD(0.05))
+	if p, _ := sched.New(slr.LoopSpec(), sched.DefaultOptions()); p.Kind != sched.Independent {
+		t.Errorf("SLR: %v, want independent (data parallelism)", p.Kind)
+	}
+}

@@ -1,0 +1,242 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+
+	"orion/internal/data"
+	"orion/internal/dsm"
+	"orion/internal/engine"
+	"orion/internal/ir"
+)
+
+// LDA is Latent Dirichlet Allocation trained with collapsed Gibbs
+// sampling. The iteration space is the sparse (document, word) matrix;
+// one iteration resamples the topic of every occurrence of that word in
+// that document. Document-topic counts are indexed by the doc
+// coordinate and word-topic counts by the word coordinate, so the loop
+// is 2D-unordered parallelizable; the global topic-totals vector is a
+// non-critical dependence the program exempts through a DistArray
+// Buffer (Section 3.3, and "violates some non-critical dependences in
+// LDA", Section 6.3).
+type LDA struct {
+	corpus *data.Corpus
+	topics int
+	alpha  float64
+	beta   float64
+
+	// samples are the distinct (doc, word) pairs; occs[i] lists the
+	// token positions, assign[i] the current topic per occurrence.
+	samples []engine.Sample
+	occs    []int // occurrence count per sample
+	assign  [][]int
+
+	docLen []int64
+
+	probs []float64 // scratch
+	delta []float64 // scratch ±1 row
+}
+
+// NewLDA builds the app.
+func NewLDA(c *data.Corpus, topics int, alpha, beta float64) *LDA {
+	l := &LDA{corpus: c, topics: topics, alpha: alpha, beta: beta,
+		probs: make([]float64, topics), delta: make([]float64, topics)}
+	type dw struct{ d, w int64 }
+	counts := make(map[dw]int)
+	var order []dw
+	l.docLen = make([]int64, c.Docs)
+	for d, words := range c.Words {
+		l.docLen[d] = int64(len(words))
+		for _, w := range words {
+			k := dw{int64(d), w}
+			if counts[k] == 0 {
+				order = append(order, k)
+			}
+			counts[k]++
+		}
+	}
+	for i, k := range order {
+		l.samples = append(l.samples, engine.Sample{Row: k.d, Col: k.w, Idx: i})
+		l.occs = append(l.occs, counts[k])
+	}
+	return l
+}
+
+// Name implements engine.App.
+func (l *LDA) Name() string { return "lda" }
+
+// IterDims implements engine.App.
+func (l *LDA) IterDims() (int64, int64) { return l.corpus.Docs, l.corpus.Vocab }
+
+// NumSamples implements engine.App.
+func (l *LDA) NumSamples() int { return len(l.samples) }
+
+// SampleAt implements engine.App.
+func (l *LDA) SampleAt(i int) engine.Sample { return l.samples[i] }
+
+// Tables implements engine.App. Count tables use the identity update
+// rule: kernels emit ±1 deltas.
+func (l *LDA) Tables() []engine.TableSpec {
+	return []engine.TableSpec{
+		{Name: "doc_topic", Rows: l.corpus.Docs, Width: l.topics, IndexedBy: engine.ByRow},
+		{Name: "word_topic", Rows: l.corpus.Vocab, Width: l.topics, IndexedBy: engine.ByCol},
+		{Name: "topic_totals", Rows: 1, Width: l.topics, IndexedBy: engine.Global},
+	}
+}
+
+// Init implements engine.App: random topic assignments and the
+// corresponding count tables.
+func (l *LDA) Init(seed int64) []*dsm.DistArray {
+	rng := rand.New(rand.NewSource(seed))
+	dt := dsm.NewDense("doc_topic", int64(l.topics), l.corpus.Docs)
+	wt := dsm.NewDense("word_topic", int64(l.topics), l.corpus.Vocab)
+	tt := dsm.NewDense("topic_totals", int64(l.topics), 1)
+	l.assign = make([][]int, len(l.samples))
+	for i, s := range l.samples {
+		l.assign[i] = make([]int, l.occs[i])
+		for o := range l.assign[i] {
+			k := rng.Intn(l.topics)
+			l.assign[i][o] = k
+			dt.Vec(s.Row)[k]++
+			wt.Vec(s.Col)[k]++
+			tt.Vec(0)[k]++
+		}
+	}
+	return []*dsm.DistArray{dt, wt, tt}
+}
+
+// Process implements engine.App: collapsed Gibbs resampling of every
+// occurrence of word s.Col in document s.Row.
+func (l *LDA) Process(s engine.Sample, st engine.Store, rng *rand.Rand) {
+	K := l.topics
+	vBeta := float64(l.corpus.Vocab) * l.beta
+	for o := range l.assign[s.Idx] {
+		old := l.assign[s.Idx][o]
+		// Remove the token's current assignment.
+		l.updateCounts(st, s, old, -1)
+		dt := st.Read(0, s.Row)
+		wt := st.Read(1, s.Col)
+		tt := st.Read(2, 0)
+		var total float64
+		for k := 0; k < K; k++ {
+			nd := dt[k]
+			nw := wt[k]
+			nt := tt[k]
+			// Stale snapshots may lag the removal; clamp.
+			if nd < 0 {
+				nd = 0
+			}
+			if nw < 0 {
+				nw = 0
+			}
+			if nt < 1 {
+				nt = 1
+			}
+			p := (nd + l.alpha) * (nw + l.beta) / (nt + vBeta)
+			l.probs[k] = p
+			total += p
+		}
+		u := rng.Float64() * total
+		newK := K - 1
+		var acc float64
+		for k := 0; k < K; k++ {
+			acc += l.probs[k]
+			if u <= acc {
+				newK = k
+				break
+			}
+		}
+		l.assign[s.Idx][o] = newK
+		l.updateCounts(st, s, newK, +1)
+	}
+}
+
+func (l *LDA) updateCounts(st engine.Store, s engine.Sample, k int, delta float64) {
+	for i := range l.delta {
+		l.delta[i] = 0
+	}
+	l.delta[k] = delta
+	st.Update(0, s.Row, l.delta)
+	st.Update(1, s.Col, l.delta)
+	st.Update(2, 0, l.delta)
+}
+
+// Loss implements engine.App: the negative collapsed log-likelihood
+// log p(w, z | α, β) computed from the count tables (lower is better).
+func (l *LDA) Loss(tables []*dsm.DistArray) float64 {
+	dt, wt, tt := tables[0], tables[1], tables[2]
+	K := l.topics
+	V := float64(l.corpus.Vocab)
+	var ll float64
+	// Word part: Σ_k [ lnΓ(Vβ) − V lnΓ(β) + Σ_w lnΓ(n_wk+β) − lnΓ(n_k+Vβ) ].
+	lgVb, _ := math.Lgamma(V * l.beta)
+	lgB, _ := math.Lgamma(l.beta)
+	totals := tt.Vec(0)
+	for k := 0; k < K; k++ {
+		ll += lgVb - V*lgB
+		lgNk, _ := math.Lgamma(clampNonNeg(totals[k]) + V*l.beta)
+		ll -= lgNk
+	}
+	for w := int64(0); w < l.corpus.Vocab; w++ {
+		row := wt.Vec(w)
+		for k := 0; k < K; k++ {
+			g, _ := math.Lgamma(clampNonNeg(row[k]) + l.beta)
+			ll += g
+		}
+	}
+	// Doc part: Σ_d [ lnΓ(Kα) − K lnΓ(α) + Σ_k lnΓ(n_dk+α) − lnΓ(n_d+Kα) ].
+	lgKa, _ := math.Lgamma(float64(K) * l.alpha)
+	lgA, _ := math.Lgamma(l.alpha)
+	for d := int64(0); d < l.corpus.Docs; d++ {
+		ll += lgKa - float64(K)*lgA
+		row := dt.Vec(d)
+		for k := 0; k < K; k++ {
+			g, _ := math.Lgamma(clampNonNeg(row[k]) + l.alpha)
+			ll += g
+		}
+		g, _ := math.Lgamma(float64(l.docLen[d]) + float64(K)*l.alpha)
+		ll -= g
+	}
+	return -ll
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// FlopsPerSample implements engine.App: average occurrences per sample
+// times a K-length sampling scan.
+func (l *LDA) FlopsPerSample() float64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var tokens int
+	for _, o := range l.occs {
+		tokens += o
+	}
+	avg := float64(tokens) / float64(len(l.samples))
+	return avg * float64(6*l.topics)
+}
+
+// LoopSpec implements engine.App. The topic-totals write goes through a
+// DistArray Buffer, exempting it from dependence analysis.
+func (l *LDA) LoopSpec() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name:           "lda_gibbs",
+		IterSpaceArray: "tokens",
+		Dims:           []int64{l.corpus.Docs, l.corpus.Vocab},
+		Ordered:        false,
+		Inherited:      []string{"alpha", "beta"},
+		Refs: []ir.ArrayRef{
+			{Array: "doc_topic", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}},
+			{Array: "word_topic", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}},
+			{Array: "topic_totals", Subs: []ir.Subscript{ir.FullRange()}},
+			{Array: "doc_topic", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}, IsWrite: true},
+			{Array: "word_topic", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}, IsWrite: true},
+			{Array: "topic_totals", Subs: []ir.Subscript{ir.FullRange()}, IsWrite: true, Buffered: true},
+		},
+	}
+}

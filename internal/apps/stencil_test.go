@@ -1,0 +1,81 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"orion/internal/engine"
+	"orion/internal/sched"
+)
+
+func TestStencilPlansAsTransformed(t *testing.T) {
+	s := NewStencil(12, 12)
+	p, err := sched.New(s.LoopSpec(), sched.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != sched.TwoDTransformed {
+		t.Fatalf("stencil plan = %v (deps %v), want 2D w/ unimodular transformation", p.Kind, p.Deps)
+	}
+	if p.Transform == nil || !p.Transform.IsUnimodular() {
+		t.Fatalf("bad transform %v", p.Transform)
+	}
+}
+
+func TestStencilWavefrontMatchesSerialExactly(t *testing.T) {
+	// The transformed wavefront co-schedules only iterations with no
+	// dependence between them, so for this deterministic kernel the
+	// parallel execution must be bitwise identical to serial
+	// lexicographic execution.
+	cfg := engine.Config{Workers: 1, Passes: 3, Seed: 1, Cluster: testCluster()}
+	serial := engine.RunSerial(NewStencil(12, 10), cfg)
+
+	for _, w := range []int{2, 4, 7} {
+		pcfg := cfg
+		pcfg.Workers = w
+		par, plan, err := engine.RunOrion(NewStencil(12, 10), pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Kind != sched.TwoDTransformed {
+			t.Fatalf("plan = %v", plan.Kind)
+		}
+		if par.Engine != "orion-2d-transformed" {
+			t.Fatalf("engine = %s", par.Engine)
+		}
+		for i := range serial.Loss {
+			if math.Abs(par.Loss[i]-serial.Loss[i]) > 1e-12*math.Abs(serial.Loss[i])+1e-15 {
+				t.Fatalf("%d workers, pass %d: wavefront loss %v != serial %v",
+					w, i+1, par.Loss[i], serial.Loss[i])
+			}
+		}
+	}
+}
+
+func TestStencilRelaxationReducesRoughness(t *testing.T) {
+	cfg := engine.Config{Workers: 4, Passes: 5, Seed: 1, Cluster: testCluster()}
+	res, _, err := engine.RunOrion(NewStencil(16, 16), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Loss); i++ {
+		if res.Loss[i] >= res.Loss[i-1] {
+			t.Fatalf("roughness must decrease monotonically: %v", res.Loss)
+		}
+	}
+}
+
+func TestStencilWavefrontScales(t *testing.T) {
+	run := func(w int) float64 {
+		cfg := engine.Config{Workers: w, Passes: 2, Seed: 1, Cluster: testCluster(), SkipLoss: true}
+		res, _, err := engine.RunOrion(NewStencil(32, 32), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimePerIter()
+	}
+	t1, t4 := run(1), run(4)
+	if t4 >= t1 {
+		t.Fatalf("wavefront should speed up with workers: 1w %v, 4w %v", t1, t4)
+	}
+}

@@ -1,0 +1,180 @@
+package dep
+
+import (
+	"fmt"
+
+	"orion/internal/ir"
+)
+
+// Analyze computes the set of dependence vectors for a loop, running
+// Algorithm 2 for every referenced DistArray and unioning the results.
+// Buffered writes (DistArray Buffers, Section 3.3) are exempt.
+func Analyze(loop *ir.LoopSpec) (*Set, error) {
+	if err := loop.Validate(); err != nil {
+		return nil, err
+	}
+	set := NewSet()
+	for _, array := range loop.Arrays() {
+		refs := effectiveRefs(loop.RefsTo(array))
+		vecs, err := analyzeArray(loop, array, refs)
+		if err != nil {
+			return nil, err
+		}
+		set.AddAll(vecs)
+	}
+	return set, nil
+}
+
+// effectiveRefs drops buffered writes from dependence analysis.
+func effectiveRefs(refs []ir.ArrayRef) []ir.ArrayRef {
+	out := refs[:0:0]
+	for _, r := range refs {
+		if r.IsWrite && r.Buffered {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// analyzeArray is Algorithm 2: it produces at most one dependence vector
+// (before lexicographic normalization) per unique pair of static
+// references to the same DistArray.
+func analyzeArray(loop *ir.LoopSpec, array string, refs []ir.ArrayRef) ([]Vector, error) {
+	n := loop.NumDims()
+	var out []Vector
+	for a := 0; a < len(refs); a++ {
+		// The pair (a, a) matters too: the same static reference
+		// executed by two different iterations can touch the same
+		// element (e.g. W[:, key[1]] for two iterations with equal
+		// key[1]).
+		for b := a; b < len(refs); b++ {
+			ra, rb := refs[a], refs[b]
+			// Two reads never conflict.
+			if !ra.IsWrite && !rb.IsWrite {
+				continue
+			}
+			// Write-write dependences may be ignored for unordered
+			// loops *only if* updates commute; Orion requires the
+			// loop to be declared unordered for this (Algorithm 2's
+			// unordered_loop test). Note a ref that is both read and
+			// written appears as two entries in Refs, so this skip
+			// is safe for pure write-write pairs.
+			if !loop.Ordered && ra.IsWrite && rb.IsWrite {
+				continue
+			}
+			if len(ra.Subs) != len(rb.Subs) {
+				return nil, fmt.Errorf("dep: loop %q: references %s and %s to array %q have different arities",
+					loop.Name, ra, rb, array)
+			}
+			vec, independent := pairVector(n, ra, rb)
+			if independent {
+				continue
+			}
+			// Self-pair with all-equal single-index subscripts is the
+			// same iteration touching its own element — not
+			// loop-carried unless some dimension is unconstrained.
+			out = append(out, vec.LexPositive()...)
+		}
+	}
+	return out, nil
+}
+
+// pairVector refines the conservative all-∞ vector using each subscript
+// position of the reference pair, returning (vector, independent).
+func pairVector(n int, ra, rb ir.ArrayRef) (Vector, bool) {
+	dvec := NewAnyVector(n)
+	// constrained tracks which iteration-space dims got a finite
+	// distance; used to detect the degenerate self-dependence (distance
+	// zero in every dimension touched, and no dimension left
+	// unconstrained would still be Any — that is a real dependence
+	// between iterations sharing those coordinates).
+	for pos := range ra.Subs {
+		sa, sb := ra.Subs[pos], rb.Subs[pos]
+		switch {
+		case sa.Kind == ir.SubIndex && sb.Kind == ir.SubIndex:
+			if sa.Dim == sb.Dim {
+				dist := sa.Const - sb.Const
+				cur := dvec[sa.Dim]
+				if cur.Kind == Finite && cur.Val != dist {
+					// Two subscript positions demand different
+					// distances on the same loop dim: the subscripts
+					// can never match simultaneously.
+					return nil, true
+				}
+				dvec[sa.Dim] = D(dist)
+			}
+			// Different loop dims at the same array position: the
+			// subscripts match whenever p[sa.Dim]+ca == p'[sb.Dim]+cb,
+			// which constrains neither dim to a fixed distance —
+			// leave both Any.
+		case sa.Kind == ir.SubConst && sb.Kind == ir.SubConst:
+			if sa.Const != sb.Const {
+				return nil, true
+			}
+		case sa.Kind == ir.SubConst && sb.Kind == ir.SubIndex,
+			sa.Kind == ir.SubIndex && sb.Kind == ir.SubConst:
+			// A fixed coordinate vs. a moving one: they coincide for
+			// exactly one index value; the loop dim remains
+			// unconstrained (Any) because the dependence only ties
+			// iterations whose index hits the constant. Conservative:
+			// keep Any.
+		case sa.Kind == ir.SubRange && sb.Kind == ir.SubRange:
+			if !sa.Full && !sb.Full && (sa.Hi < sb.Lo || sb.Hi < sa.Lo) {
+				return nil, true
+			}
+		case sa.Kind == ir.SubRange && sb.Kind == ir.SubConst,
+			sa.Kind == ir.SubConst && sb.Kind == ir.SubRange:
+			rg, c := sa, sb
+			if sa.Kind == ir.SubConst {
+				rg, c = sb, sa
+			}
+			if !rg.Full && (c.Const < rg.Lo || c.Const > rg.Hi) {
+				return nil, true
+			}
+		default:
+			// SubRuntime vs anything, SubRange vs SubIndex, ...:
+			// conservatively no constraint.
+		}
+	}
+	return dvec, false
+}
+
+// References able to execute concurrently must touch disjoint elements.
+// ConflictFree reports whether iterations p and q (concrete index
+// vectors) are independent according to the dependence set: they are
+// dependent iff some vector (or its negation) matches their distance.
+func (s *Set) ConflictFree(p, q []int64) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	diff := make([]int64, len(p))
+	same := true
+	for i := range p {
+		diff[i] = p[i] - q[i]
+		if diff[i] != 0 {
+			same = false
+		}
+	}
+	if same {
+		return true // the same iteration: no loop-carried dependence
+	}
+	for _, v := range s.vecs {
+		if matchesDiff(v, diff) || matchesDiff(v.Negate(), diff) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchesDiff(v Vector, diff []int64) bool {
+	if len(v) != len(diff) {
+		return false
+	}
+	for i := range v {
+		if !v[i].Matches(diff[i]) {
+			return false
+		}
+	}
+	return true
+}

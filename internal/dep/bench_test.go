@@ -1,0 +1,37 @@
+package dep
+
+import (
+	"testing"
+
+	"orion/internal/ir"
+)
+
+func BenchmarkAnalyzeMF(b *testing.B) {
+	loop := mfLoop(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(loop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeManyRefs measures Algorithm 2's O(N²·D) pairwise scan
+// on a loop with many static references.
+func BenchmarkAnalyzeManyRefs(b *testing.B) {
+	loop := &ir.LoopSpec{
+		Name: "many", IterSpaceArray: "it", Dims: []int64{64, 64},
+	}
+	for k := int64(0); k < 24; k++ {
+		loop.Refs = append(loop.Refs,
+			ir.ArrayRef{Array: "A", Subs: []ir.Subscript{ir.Index(0, k), ir.Index(1, -k)}},
+			ir.ArrayRef{Array: "A", Subs: []ir.Subscript{ir.Index(0, 0), ir.Index(1, k)}, IsWrite: true},
+		)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(loop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package dep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"orion/internal/ir"
+)
+
+// mfLoop is the SGD MF loop of Fig. 6: iteration space = ratings (2D),
+// reads and writes W[:, key[1]] and H[:, key[2]].
+func mfLoop(ordered bool) *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name:           "sgd_mf",
+		IterSpaceArray: "ratings",
+		Dims:           []int64{4, 4},
+		Ordered:        ordered,
+		Refs: []ir.ArrayRef{
+			{Array: "W", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}},
+			{Array: "H", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}},
+			{Array: "W", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}, IsWrite: true},
+			{Array: "H", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}, IsWrite: true},
+		},
+	}
+}
+
+func TestMFDependenceVectors(t *testing.T) {
+	set, err := Analyze(mfLoop(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 6: the dependence vectors are (0, inf) and (inf, 0); after
+	// lexicographic normalization the inf components become +inf.
+	want := map[string]bool{
+		"(0, +inf)": true,
+		"(+inf, 0)": true,
+	}
+	got := set.Vectors()
+	if len(got) != len(want) {
+		t.Fatalf("got %d vectors %v, want %d", len(got), set, len(want))
+	}
+	for _, v := range got {
+		if !want[v.String()] {
+			t.Errorf("unexpected vector %v", v)
+		}
+	}
+	if !set.ZeroAtEither(0, 1) {
+		t.Error("MF loop should be 2D parallelizable on dims (0,1)")
+	}
+	if set.ZeroAt(0) || set.ZeroAt(1) {
+		t.Error("MF loop must not be 1D parallelizable")
+	}
+}
+
+func TestIndependentLoop(t *testing.T) {
+	// Each iteration touches only its own element: P[key[1], key[2]].
+	loop := &ir.LoopSpec{
+		Name:           "elementwise",
+		IterSpaceArray: "grid",
+		Dims:           []int64{3, 3},
+		Refs: []ir.ArrayRef{
+			{Array: "P", Subs: []ir.Subscript{ir.Index(0, 0), ir.Index(1, 0)}},
+			{Array: "P", Subs: []ir.Subscript{ir.Index(0, 0), ir.Index(1, 0)}, IsWrite: true},
+		},
+	}
+	set, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Empty() {
+		t.Fatalf("elementwise loop should have no loop-carried dependences, got %v", set)
+	}
+}
+
+func TestStencilLoop(t *testing.T) {
+	// A[key[1]] = f(A[key[1]-1]): classic distance-1 flow dependence.
+	loop := &ir.LoopSpec{
+		Name:           "stencil",
+		IterSpaceArray: "v",
+		Dims:           []int64{8},
+		Ordered:        true,
+		Refs: []ir.ArrayRef{
+			{Array: "A", Subs: []ir.Subscript{ir.Index(0, -1)}},
+			{Array: "A", Subs: []ir.Subscript{ir.Index(0, 0)}, IsWrite: true},
+		},
+	}
+	set, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range set.Vectors() {
+		if v.String() == "(1)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want distance-1 dependence, got %v", set)
+	}
+}
+
+func TestSkewedStencil2D(t *testing.T) {
+	// A[i, j] reads A[i-1, j] and A[i, j-1]: dependences (1,0) and (0,1),
+	// the Fig. 7b pattern. Not 1D; 2D condition on (0,1) holds.
+	loop := &ir.LoopSpec{
+		Name:           "stencil2d",
+		IterSpaceArray: "grid",
+		Dims:           []int64{4, 4},
+		Ordered:        true,
+		Refs: []ir.ArrayRef{
+			{Array: "A", Subs: []ir.Subscript{ir.Index(0, -1), ir.Index(1, 0)}},
+			{Array: "A", Subs: []ir.Subscript{ir.Index(0, 0), ir.Index(1, -1)}},
+			{Array: "A", Subs: []ir.Subscript{ir.Index(0, 0), ir.Index(1, 0)}, IsWrite: true},
+		},
+	}
+	set, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"(1, 0)": true, "(0, 1)": true}
+	for _, v := range set.Vectors() {
+		if !want[v.String()] {
+			t.Errorf("unexpected vector %v (set %v)", v, set)
+		}
+		delete(want, v.String())
+	}
+	for k := range want {
+		t.Errorf("missing vector %s", k)
+	}
+}
+
+func TestRuntimeSubscriptConservative(t *testing.T) {
+	// W[?] written with a data-dependent subscript: every pair of
+	// iterations may conflict; expect an unconstrained (+inf-led) vector.
+	loop := &ir.LoopSpec{
+		Name:           "slr",
+		IterSpaceArray: "samples",
+		Dims:           []int64{10},
+		Refs: []ir.ArrayRef{
+			{Array: "w", Subs: []ir.Subscript{ir.Runtime()}},
+			{Array: "w", Subs: []ir.Subscript{ir.Runtime()}, IsWrite: true},
+		},
+	}
+	set, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Empty() {
+		t.Fatal("runtime subscripts must be conservatively dependent")
+	}
+	if set.ZeroAt(0) {
+		t.Error("loop with runtime subscripts must not be 1D parallelizable")
+	}
+}
+
+func TestBufferedWritesExempt(t *testing.T) {
+	loop := &ir.LoopSpec{
+		Name:           "slr_buffered",
+		IterSpaceArray: "samples",
+		Dims:           []int64{10},
+		Refs: []ir.ArrayRef{
+			{Array: "w", Subs: []ir.Subscript{ir.Runtime()}},
+			{Array: "w", Subs: []ir.Subscript{ir.Runtime()}, IsWrite: true, Buffered: true},
+		},
+	}
+	set, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Empty() {
+		t.Fatalf("buffered writes must be exempt from dependence analysis, got %v", set)
+	}
+}
+
+func TestConstSubscriptDisjoint(t *testing.T) {
+	// A[0, key[1]] write vs A[1, key[1]] read: rows 0 and 1 never meet.
+	loop := &ir.LoopSpec{
+		Name:           "rows",
+		IterSpaceArray: "v",
+		Dims:           []int64{6},
+		Refs: []ir.ArrayRef{
+			{Array: "A", Subs: []ir.Subscript{ir.Const(1), ir.Index(0, 0)}},
+			{Array: "A", Subs: []ir.Subscript{ir.Const(0), ir.Index(0, 0)}, IsWrite: true},
+		},
+	}
+	set, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write-vs-itself self pair is skipped (unordered); the
+	// read/write pair is disjoint by constant rows. Only dependence
+	// could come from write self-pair under ordered loops.
+	if !set.Empty() {
+		t.Fatalf("constant-disjoint references should be independent, got %v", set)
+	}
+}
+
+func TestDisjointRanges(t *testing.T) {
+	loop := &ir.LoopSpec{
+		Name:           "ranges",
+		IterSpaceArray: "v",
+		Dims:           []int64{6},
+		Refs: []ir.ArrayRef{
+			{Array: "A", Subs: []ir.Subscript{ir.Range(0, 2), ir.Index(0, 0)}},
+			{Array: "A", Subs: []ir.Subscript{ir.Range(3, 5), ir.Index(0, 0)}, IsWrite: true},
+		},
+	}
+	set, err := Analyze(loop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set.Empty() {
+		t.Fatalf("disjoint ranges should be independent, got %v", set)
+	}
+}
+
+func TestLexPositive(t *testing.T) {
+	cases := []struct {
+		in   Vector
+		want map[string]bool
+	}{
+		{Vector{D(-1), D(2)}, map[string]bool{"(1, -2)": true}},
+		{Vector{D(0), D(-3)}, map[string]bool{"(0, 3)": true}},
+		{Vector{D(0), D(0)}, map[string]bool{}},
+		{Vector{DAny(), D(0)}, map[string]bool{"(+inf, 0)": true}},
+		{Vector{D(0), DAny()}, map[string]bool{"(0, +inf)": true}},
+		{Vector{DNeg(), D(1)}, map[string]bool{"(+inf, -1)": true}},
+	}
+	for _, c := range cases {
+		got := c.in.LexPositive()
+		if len(got) != len(c.want) {
+			t.Errorf("LexPositive(%v) = %v, want keys %v", c.in, got, c.want)
+			continue
+		}
+		for _, v := range got {
+			if !c.want[v.String()] {
+				t.Errorf("LexPositive(%v) produced unexpected %v", c.in, v)
+			}
+			if s := v.Sign(); s != 1 {
+				t.Errorf("LexPositive(%v) produced non-positive %v (sign %d)", c.in, v, s)
+			}
+		}
+	}
+}
+
+func TestLexPositiveMixedAnySplits(t *testing.T) {
+	// (inf, 1): positive branch (+inf, 1), negated branch (+inf, -1),
+	// zero branch (0, 1).
+	got := Vector{DAny(), D(1)}.LexPositive()
+	want := map[string]bool{"(+inf, 1)": true, "(+inf, -1)": true, "(0, 1)": true}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for _, v := range got {
+		if !want[v.String()] {
+			t.Errorf("unexpected %v", v)
+		}
+	}
+}
+
+func TestDistMatches(t *testing.T) {
+	if !D(3).Matches(3) || D(3).Matches(2) {
+		t.Error("finite match broken")
+	}
+	if !DAny().Matches(-7) || !DAny().Matches(0) {
+		t.Error("Any must match everything")
+	}
+	if !DPos().Matches(1) || DPos().Matches(0) || DPos().Matches(-1) {
+		t.Error("PosInf must match only positives")
+	}
+	if !DNeg().Matches(-1) || DNeg().Matches(0) {
+		t.Error("NegInf must match only negatives")
+	}
+}
+
+// randomLoop builds a random small loop over a 2D iteration space with
+// index/const/range subscripts (no runtime — the oracle treats runtime
+// as touching everything which trivially dominates).
+func randomLoop(rng *rand.Rand) (*ir.LoopSpec, map[string][]int64) {
+	dims := []int64{int64(2 + rng.Intn(3)), int64(2 + rng.Intn(3))}
+	arrays := []string{"A", "B"}
+	bounds := map[string][]int64{
+		"A": {8, 8},
+		"B": {8, 8},
+	}
+	nRefs := 2 + rng.Intn(4)
+	var refs []ir.ArrayRef
+	for i := 0; i < nRefs; i++ {
+		arr := arrays[rng.Intn(len(arrays))]
+		subs := make([]ir.Subscript, 2)
+		for p := 0; p < 2; p++ {
+			switch rng.Intn(3) {
+			case 0:
+				subs[p] = ir.Index(rng.Intn(2), int64(rng.Intn(3)-1))
+			case 1:
+				subs[p] = ir.Const(int64(rng.Intn(4)))
+			default:
+				lo := int64(rng.Intn(4))
+				subs[p] = ir.Range(lo, lo+int64(rng.Intn(3)))
+			}
+		}
+		refs = append(refs, ir.ArrayRef{Array: arr, Subs: subs, IsWrite: rng.Intn(2) == 0})
+	}
+	loop := &ir.LoopSpec{
+		Name:           "random",
+		IterSpaceArray: "iter",
+		Dims:           dims,
+		Ordered:        rng.Intn(2) == 0,
+		Refs:           refs,
+	}
+	return loop, bounds
+}
+
+// TestAnalyzeSoundVsOracle: for random loops, whenever the exhaustive
+// oracle finds two dependent iterations, Analyze's dependence set must
+// also mark them dependent (ConflictFree must be false). Analyze may be
+// conservative (extra dependences) but never unsound.
+func TestAnalyzeSoundVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		loop, bounds := randomLoop(rng)
+		set, err := Analyze(loop)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		oracle := NewOracle(loop, bounds)
+		iters := oracle.Iterations()
+		for i := 0; i < len(iters); i++ {
+			for j := i + 1; j < len(iters); j++ {
+				if oracle.Dependent(iters[i], iters[j]) && set.ConflictFree(iters[i], iters[j]) {
+					t.Fatalf("trial %d: unsound analysis.\nloop: %s\nset: %v\niterations %v and %v are dependent per oracle but ConflictFree",
+						trial, loop, set, iters[i], iters[j])
+				}
+			}
+		}
+	}
+}
+
+// Property: LexPositive output vectors are all lexicographically
+// positive and jointly cover every concrete distance the input admits.
+func TestLexPositiveCoversProperty(t *testing.T) {
+	f := func(a, b int8, kinds uint8) bool {
+		mk := func(k uint8, v int8) Dist {
+			switch k % 4 {
+			case 0:
+				return D(int64(v % 3))
+			case 1:
+				return DAny()
+			case 2:
+				return DPos()
+			default:
+				return DNeg()
+			}
+		}
+		v := Vector{mk(kinds, a), mk(kinds>>2, b)}
+		outs := v.LexPositive()
+		for _, o := range outs {
+			if o.Sign() != 1 {
+				return false
+			}
+		}
+		// Every concrete diff admitted by v (or its negation, since a
+		// dependence is symmetric in source/sink) must be admitted by
+		// some output or an output's negation.
+		for x := int64(-3); x <= 3; x++ {
+			for y := int64(-3); y <= 3; y++ {
+				if x == 0 && y == 0 {
+					continue
+				}
+				diff := []int64{x, y}
+				if !matchesDiff(v, diff) {
+					continue
+				}
+				covered := false
+				for _, o := range outs {
+					if matchesDiff(o, diff) || matchesDiff(o.Negate(), diff) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := &ir.LoopSpec{Name: "bad"}
+	if _, err := Analyze(bad); err == nil {
+		t.Error("want error for empty iteration space")
+	}
+	bad2 := &ir.LoopSpec{
+		Name: "bad2", IterSpaceArray: "x", Dims: []int64{4},
+		Refs: []ir.ArrayRef{{Array: "A", Subs: []ir.Subscript{ir.Index(3, 0)}}},
+	}
+	if _, err := Analyze(bad2); err == nil {
+		t.Error("want error for out-of-range loop dim")
+	}
+}

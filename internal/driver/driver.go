@@ -1,0 +1,372 @@
+// Package driver is Orion's driver-program API (Fig. 3): it ties the
+// whole pipeline together so an application is nothing more than
+// DistArray declarations plus serial loop source:
+//
+//	sess, _ := driver.NewLocalSession(4)
+//	defer sess.Close()
+//	sess.CreateArray("ratings", false, rows, cols)   // ... fill ...
+//	sess.CreateArray("W", true, rank, rows)
+//	sess.CreateArray("H", true, rank, cols)
+//	sess.SetGlobal("step_size", 0.01)
+//	sess.ParallelFor(src, driver.Passes(10))         // @parallel_for
+//
+// ParallelFor parses the loop, statically extracts its access pattern,
+// computes dependence vectors, picks a dependence-preserving plan,
+// distributes the DistArrays accordingly (space-local, rotated, or
+// parameter-server-served with a *synthesized* bulk-prefetch function),
+// executes on the distributed runtime, and gathers results back.
+package driver
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"orion/internal/dep"
+	"orion/internal/dslkernel"
+	"orion/internal/dsm"
+	"orion/internal/ir"
+	"orion/internal/lang"
+	"orion/internal/runtime"
+	"orion/internal/sched"
+)
+
+// Session is one driver program's connection to an Orion cluster.
+type Session struct {
+	transport runtime.Transport
+	master    *runtime.Master
+	execDone  []<-chan error
+
+	n       int
+	env     *lang.Env
+	arrays  map[string]*dsm.DistArray
+	globals map[string]float64
+
+	loopSeq atomic.Int64
+	mu      sync.Mutex
+	closed  bool
+}
+
+var sessionSeq atomic.Int64
+
+// NewLocalSession starts a session with n executors in this process
+// over the in-process transport. (For multi-process deployments, run
+// cmd-level executors against a TCP master and register kernels on both
+// sides; the in-process path exercises identical protocol code.)
+func NewLocalSession(n int) (*Session, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("driver: need at least one executor")
+	}
+	dslkernel.Install()
+	id := sessionSeq.Add(1)
+	tr := runtime.NewInProc()
+	masterAddr := fmt.Sprintf("session-%d-master", id)
+	m, err := runtime.Listen(tr, masterAddr, n)
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(tr, m, n)
+	ready := make(chan error, 1)
+	go func() { ready <- m.WaitForExecutors() }()
+	for i := 0; i < n; i++ {
+		e, err := runtime.NewExecutor(tr, masterAddr, fmt.Sprintf("session-%d-peer-%d", id, i), i)
+		if err != nil {
+			return nil, err
+		}
+		s.execDone = append(s.execDone, e.Start())
+	}
+	if err := <-ready; err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewTCPSession listens on addr for n executor processes — typically
+// cmd/orion-worker instances, which carry the DSL compiler and need no
+// per-application code. Read Addr for the bound address (useful with
+// ":0"), start the workers, then call WaitForWorkers.
+func NewTCPSession(addr string, n int) (*Session, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("driver: need at least one executor")
+	}
+	dslkernel.Install()
+	m, err := runtime.Listen(runtime.TCP{}, addr, n)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(runtime.TCP{}, m, n), nil
+}
+
+// WaitForWorkers blocks until all executors have registered (TCP
+// sessions; local sessions return immediately ready).
+func (s *Session) WaitForWorkers() error { return s.master.WaitForExecutors() }
+
+// Addr returns the master's bound listen address (useful with ":0").
+func (s *Session) Addr() string { return s.master.Addr() }
+
+func newSession(tr runtime.Transport, m *runtime.Master, n int) *Session {
+	return &Session{
+		transport: tr,
+		master:    m,
+		n:         n,
+		env:       &lang.Env{Arrays: map[string][]int64{}, Buffers: map[string]string{}},
+		arrays:    map[string]*dsm.DistArray{},
+		globals:   map[string]float64{},
+	}
+}
+
+// CreateArray declares a DistArray and returns it for driver-side
+// initialization (loading data, random init). The driver's copy is
+// authoritative between ParallelFor calls.
+func (s *Session) CreateArray(name string, dense bool, dims ...int64) *dsm.DistArray {
+	var a *dsm.DistArray
+	if dense {
+		a = dsm.NewDense(name, dims...)
+	} else {
+		a = dsm.NewSparse(name, dims...)
+	}
+	s.arrays[name] = a
+	s.env.Arrays[name] = a.Dims()
+	return a
+}
+
+// CreateBuffer declares a DistArray Buffer over target; writes through
+// it in loop bodies are exempt from dependence analysis (Section 3.3).
+func (s *Session) CreateBuffer(name, target string) error {
+	if _, ok := s.arrays[target]; !ok {
+		return fmt.Errorf("driver: buffer %q targets unknown array %q", name, target)
+	}
+	s.env.Buffers[name] = target
+	return nil
+}
+
+// SetGlobal binds a driver variable visible (read-only) to loop bodies.
+func (s *Session) SetGlobal(name string, v float64) { s.globals[name] = v }
+
+// Array returns the driver-side copy of an array.
+func (s *Session) Array(name string) *dsm.DistArray { return s.arrays[name] }
+
+// Option tunes a ParallelFor call.
+type Option func(*pfOpts)
+
+type pfOpts struct {
+	passes  int
+	ordered bool
+}
+
+// Passes sets the number of full data passes (default 1).
+func Passes(n int) Option { return func(o *pfOpts) { o.passes = n } }
+
+// Ordered requires lexicographic iteration order.
+func Ordered() Option { return func(o *pfOpts) { o.ordered = true } }
+
+// PlanOf runs only the static pipeline — parse, analyze, dependence
+// vectors, plan — without executing; useful for inspection.
+func (s *Session) PlanOf(src string) (*ir.LoopSpec, *dep.Set, *sched.Plan, error) {
+	loop, err := lang.Parse(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	spec, err := lang.Analyze(loop, s.env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	deps, err := dep.Analyze(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	opts := sched.DefaultOptions()
+	opts.ArrayBytes = map[string]int64{}
+	for name, a := range s.arrays {
+		opts.ArrayBytes[name] = int64(a.Len()) * 8
+	}
+	plan, err := sched.NewFromDeps(spec, deps, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return spec, deps, plan, nil
+}
+
+// ParallelFor is @parallel_for: it analyzes, plans, and executes the
+// loop on the distributed runtime, then gathers updated DistArrays back
+// into the driver's copies.
+func (s *Session) ParallelFor(src string, options ...Option) (*sched.Plan, error) {
+	o := pfOpts{passes: 1}
+	for _, opt := range options {
+		opt(&o)
+	}
+	loop, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	prevOrdered := s.env.Ordered
+	s.env.Ordered = o.ordered
+	defer func() { s.env.Ordered = prevOrdered }()
+
+	spec, err := lang.Analyze(loop, s.env)
+	if err != nil {
+		return nil, err
+	}
+	deps, err := dep.Analyze(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := sched.DefaultOptions()
+	opts.ArrayBytes = map[string]int64{}
+	for name, a := range s.arrays {
+		opts.ArrayBytes[name] = int64(a.Len()) * 8
+	}
+	plan, err := sched.NewFromDeps(spec, deps, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Every inherited (read-only driver) variable must have a value —
+	// catching this here gives a clear error instead of a worker-side
+	// kernel failure.
+	accums := map[string]bool{}
+	if loopAccs := lang.Accumulators(loop); loopAccs != nil {
+		for _, a := range loopAccs {
+			accums[a] = true
+		}
+	}
+	for _, v := range spec.Inherited {
+		if _, ok := s.globals[v]; !ok && !accums[v] {
+			return nil, fmt.Errorf("driver: loop inherits %q but no global is set (SetGlobal)", v)
+		}
+	}
+
+	switch plan.Kind {
+	case sched.TwoD:
+		if o.ordered {
+			return plan, s.runTwoDOrdered(loop, spec, plan, o.passes)
+		}
+		return plan, s.runTwoD(loop, spec, plan, o.passes)
+	case sched.OneD, sched.Independent:
+		return plan, s.runOneD(loop, spec, plan, o.passes)
+	case sched.TwoDTransformed:
+		return plan, fmt.Errorf("driver: transformed loops are not supported by the distributed runtime (use the engine simulator)")
+	default:
+		return plan, fmt.Errorf("driver: loop is not parallelizable; route writes through a DistArray Buffer for data parallelism")
+	}
+}
+
+// Accumulate aggregates a loop-body accumulator across executors with +.
+func (s *Session) Accumulate(name string) (float64, error) {
+	return s.master.AccumSum(name)
+}
+
+// Misses returns the cumulative count of prefetch-miss slow-path
+// parameter fetches — zero when synthesized bulk prefetching covers
+// every served read.
+func (s *Session) Misses() int64 { return s.master.Misses() }
+
+// Close shuts the session down.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.master.Shutdown()
+	for _, d := range s.execDone {
+		<-d
+	}
+}
+
+// Checkpoint writes the named DistArrays (all of the session's arrays
+// when names is empty) to dir — the paper's per-N-passes fault
+// tolerance pattern.
+func (s *Session) Checkpoint(dir string, names ...string) error {
+	if len(names) == 0 {
+		for name := range s.arrays {
+			names = append(names, name)
+		}
+	}
+	arrs := make([]*dsm.DistArray, 0, len(names))
+	for _, name := range names {
+		a, ok := s.arrays[name]
+		if !ok {
+			return fmt.Errorf("driver: checkpoint of unknown array %q", name)
+		}
+		arrs = append(arrs, a)
+	}
+	return dsm.CheckpointDir(dir, arrs...)
+}
+
+// Restore replaces the session's copies of the named arrays with their
+// checkpoints from dir.
+func (s *Session) Restore(dir string, names ...string) error {
+	restored, err := dsm.RestoreDir(dir, names...)
+	if err != nil {
+		return err
+	}
+	for name, a := range restored {
+		if _, ok := s.arrays[name]; !ok {
+			return fmt.Errorf("driver: restoring undeclared array %q", name)
+		}
+		s.arrays[name] = a
+		s.env.Arrays[name] = a.Dims()
+	}
+	return nil
+}
+
+// CreateArrayFromTextFile declares a DistArray loaded from a text file
+// through a user-defined line parser (Orion.text_file + materialize,
+// Section 3.1). Transformations can be fused by building through
+// dsm.FromTextFile directly and registering with RegisterArray.
+func (s *Session) CreateArrayFromTextFile(name, path string, parser dsm.LineParser, dims ...int64) (*dsm.DistArray, error) {
+	a, err := dsm.FromTextFile(name, path, parser, dims...).Materialize()
+	if err != nil {
+		return nil, err
+	}
+	s.RegisterArray(a)
+	return a, nil
+}
+
+// RegisterArray adopts an externally built DistArray (e.g. from a
+// dsm.Builder pipeline) into the session.
+func (s *Session) RegisterArray(a *dsm.DistArray) {
+	s.arrays[a.Name()] = a
+	s.env.Arrays[a.Name()] = a.Dims()
+}
+
+// ArrayDim names one array and the dimension of it that carries a
+// shared coordinate (e.g. the user id appears as ratings dim 0 and as W
+// dim 1).
+type ArrayDim struct {
+	Name string
+	Dim  int
+}
+
+// Randomize applies one random permutation to a shared coordinate that
+// appears (possibly on different dimensions) in several arrays — the
+// de-skewing operation of Section 4.3. The permutation is returned so
+// callers can map results back to original ids.
+func (s *Session) Randomize(seed int64, specs ...ArrayDim) ([]int64, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("driver: Randomize needs at least one array")
+	}
+	first, ok := s.arrays[specs[0].Name]
+	if !ok {
+		return nil, fmt.Errorf("driver: unknown array %q", specs[0].Name)
+	}
+	extent := first.Dims()[specs[0].Dim]
+	rng := rand.New(rand.NewSource(seed))
+	permuted, perm := first.Randomize(specs[0].Dim, rng)
+	s.arrays[specs[0].Name] = permuted
+	for _, spec := range specs[1:] {
+		a, ok := s.arrays[spec.Name]
+		if !ok {
+			return nil, fmt.Errorf("driver: unknown array %q", spec.Name)
+		}
+		if a.Dims()[spec.Dim] != extent {
+			return nil, fmt.Errorf("driver: %q dim %d extent %d does not match the shared coordinate extent %d",
+				spec.Name, spec.Dim, a.Dims()[spec.Dim], extent)
+		}
+		s.arrays[spec.Name] = a.Permute(spec.Dim, perm)
+	}
+	return perm, nil
+}

@@ -1,0 +1,266 @@
+package driver
+
+import (
+	"fmt"
+
+	"orion/internal/ir"
+	"orion/internal/lang"
+	"orion/internal/runtime"
+	"orion/internal/sched"
+)
+
+// runTwoD distributes and executes a 2D-parallelizable loop: the
+// iteration space and space-indexed arrays are partitioned by the space
+// dimension, time-indexed arrays rotate between executors, and anything
+// else is served by the master with synthesized bulk prefetching.
+func (s *Session) runTwoD(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan, passes int) error {
+	samples := s.iterSamples(spec)
+	spaceExt := spec.Dims[plan.SpaceDim]
+	timeExt := spec.Dims[plan.TimeDim]
+
+	spaceW := make([]int64, spaceExt)
+	timeW := make([]int64, timeExt)
+	for _, sm := range samples {
+		spaceW[sm.Key[plan.SpaceDim]]++
+		timeW[sm.Key[plan.TimeDim]]++
+	}
+	spacePart := sched.NewHistogramPartitioner(spaceW, s.n)
+	timePart := sched.NewHistogramPartitioner(timeW, s.n)
+
+	gathered, err := s.placeArrays(spec, plan, spacePart, timePart)
+	if err != nil {
+		return err
+	}
+	if err := s.master.DistributeIterSpace(samples, plan.SpaceDim, spacePart); err != nil {
+		return err
+	}
+
+	kernel, err := s.defineLoop(loop, spec, plan)
+	if err != nil {
+		return err
+	}
+	if err := s.master.ParallelFor(runtime.LoopDef{
+		Kernel:   kernel,
+		TimeDim:  plan.TimeDim,
+		TimePart: timePart,
+		Rotate:   true,
+		Passes:   passes,
+	}); err != nil {
+		return err
+	}
+	return s.gather(gathered)
+}
+
+// runTwoDOrdered executes an ordered 2D loop as a wavefront over the
+// distributed runtime (Fig. 7e): space-indexed arrays stay local,
+// time-indexed arrays are *served* (sharded across executors) instead
+// of rotated — the wavefront guarantees concurrently running blocks
+// touch disjoint ranges, so direct served writes stay serializable and
+// the whole execution preserves lexicographic order.
+func (s *Session) runTwoDOrdered(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan, passes int) error {
+	samples := s.iterSamples(spec)
+	spaceExt := spec.Dims[plan.SpaceDim]
+	timeExt := spec.Dims[plan.TimeDim]
+	spaceW := make([]int64, spaceExt)
+	timeW := make([]int64, timeExt)
+	for _, sm := range samples {
+		spaceW[sm.Key[plan.SpaceDim]]++
+		timeW[sm.Key[plan.TimeDim]]++
+	}
+	spacePart := sched.NewHistogramPartitioner(spaceW, s.n)
+	timePart := sched.NewHistogramPartitioner(timeW, s.n)
+
+	// Rewrite the plan: rotated arrays become served.
+	ordered := *plan
+	ordered.Arrays = nil
+	for _, ap := range plan.Arrays {
+		if ap.Place == sched.Rotated {
+			ap.Place = sched.Served
+		}
+		ordered.Arrays = append(ordered.Arrays, ap)
+	}
+	gathered, err := s.placeArrays(spec, &ordered, spacePart, nil)
+	if err != nil {
+		return err
+	}
+	if err := s.master.DistributeIterSpace(samples, plan.SpaceDim, spacePart); err != nil {
+		return err
+	}
+	kernel, err := s.defineLoop(loop, spec, &ordered)
+	if err != nil {
+		return err
+	}
+	if err := s.master.ParallelFor(runtime.LoopDef{
+		Kernel:   kernel,
+		TimeDim:  plan.TimeDim,
+		TimePart: timePart,
+		Ordered:  true,
+		Passes:   passes,
+	}); err != nil {
+		return err
+	}
+	return s.gather(gathered)
+}
+
+// runOneD distributes and executes a 1D-parallelizable (or independent)
+// loop: one partition per executor, no rotation.
+func (s *Session) runOneD(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan, passes int) error {
+	samples := s.iterSamples(spec)
+	spaceExt := spec.Dims[plan.SpaceDim]
+	spaceW := make([]int64, spaceExt)
+	for _, sm := range samples {
+		spaceW[sm.Key[plan.SpaceDim]]++
+	}
+	spacePart := sched.NewHistogramPartitioner(spaceW, s.n)
+
+	gathered, err := s.placeArrays(spec, plan, spacePart, nil)
+	if err != nil {
+		return err
+	}
+	if err := s.master.DistributeIterSpace(samples, plan.SpaceDim, spacePart); err != nil {
+		return err
+	}
+	kernel, err := s.defineLoop(loop, spec, plan)
+	if err != nil {
+		return err
+	}
+	if err := s.master.ParallelFor(runtime.LoopDef{
+		Kernel:  kernel,
+		TimeDim: -1,
+		Passes:  passes,
+	}); err != nil {
+		return err
+	}
+	return s.gather(gathered)
+}
+
+// iterSamples flattens the iteration-space array into runtime samples.
+func (s *Session) iterSamples(spec *ir.LoopSpec) []runtime.IterSample {
+	iter := s.arrays[spec.IterSpaceArray]
+	var out []runtime.IterSample
+	iter.ForEach(func(idx []int64, v float64) {
+		out = append(out, runtime.IterSample{Key: append([]int64(nil), idx...), Val: v})
+	})
+	return out
+}
+
+// placeArrays distributes every referenced array per the plan and
+// returns the names to gather back afterwards. Served arrays get a
+// synthesized bulk-prefetch function when the slicer can produce one.
+func (s *Session) placeArrays(spec *ir.LoopSpec, plan *sched.Plan,
+	spacePart, timePart *sched.Partitioner) ([]string, error) {
+	var gathered []string
+	for _, ap := range plan.Arrays {
+		if ap.Array == spec.IterSpaceArray {
+			continue
+		}
+		arr, ok := s.arrays[ap.Array]
+		if !ok {
+			return nil, fmt.Errorf("driver: loop references unknown array %q", ap.Array)
+		}
+		switch ap.Place {
+		case sched.Local:
+			if err := s.master.DistributeLocal(arr, ap.PartDim, boundariesOf(spacePart, s.n)); err != nil {
+				return nil, err
+			}
+			gathered = append(gathered, ap.Array)
+		case sched.Rotated:
+			if timePart == nil {
+				return nil, fmt.Errorf("driver: plan rotates %q but the loop is 1D", ap.Array)
+			}
+			if err := s.master.DistributeRotated(arr, ap.PartDim, boundariesOf(timePart, s.n)); err != nil {
+				return nil, err
+			}
+			gathered = append(gathered, ap.Array)
+		case sched.Served:
+			// Shard the array across the executors (peer-to-peer
+			// parameter serving); gather merges the shards back.
+			if err := s.master.DistributeServed(arr); err != nil {
+				return nil, err
+			}
+			gathered = append(gathered, ap.Array)
+		}
+	}
+	return gathered, nil
+}
+
+func (s *Session) gather(names []string) error {
+	for _, name := range names {
+		a, err := s.master.Gather(name)
+		if err != nil {
+			return err
+		}
+		s.arrays[name] = a
+	}
+	return nil
+}
+
+func boundariesOf(p *sched.Partitioner, n int) []int64 {
+	out := make([]int64, 0, n-1)
+	for k := 0; k < n-1; k++ {
+		_, hi := p.Bounds(k)
+		out = append(out, hi)
+	}
+	return out
+}
+
+// defineLoop ships the loop (and its synthesized prefetch slice) to
+// every executor as a DefineLoop message; each executor compiles it
+// into an interpreter-backed kernel via internal/dslkernel. This is how
+// loop bodies reach workers in separate processes (cmd/orion-worker):
+// no per-loop registration, the code travels with the message.
+func (s *Session) defineLoop(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan) (string, error) {
+	name := fmt.Sprintf("dsl-%s-%d", spec.Name, s.loopSeq.Add(1))
+	def := &runtime.Msg{
+		LoopName:  name,
+		LoopSrc:   loop.String(),
+		ArrayDims: map[string][]int64{},
+		Buffers:   map[string]string{},
+	}
+	for n2, d := range s.env.Arrays {
+		def.ArrayDims[n2] = append([]int64(nil), d...)
+	}
+	for b, target := range s.env.Buffers {
+		def.Buffers[b] = target
+	}
+	for k, v := range s.globals {
+		def.GlobalNames = append(def.GlobalNames, k)
+		def.GlobalVals = append(def.GlobalVals, v)
+	}
+	def.AccumNames = lang.Accumulators(loop)
+
+	// Synthesized prefetch for served reads (Section 4.4). Only arrays
+	// the plan actually serves from the master qualify — local and
+	// rotated arrays are read from executor partitions directly even
+	// when their subscripts are partially data-dependent.
+	if targets := servedReadTargets(spec, plan); len(targets) > 0 {
+		sliced, _, err := lang.PrefetchSlice(loop, s.env, targets...)
+		if err == nil && len(sliced.Body) > 0 {
+			def.PrefetchSrc = sliced.String()
+			def.PrefetchArrays = targets
+		}
+	}
+	if err := s.master.DefineLoop(def); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func servedReadTargets(spec *ir.LoopSpec, plan *sched.Plan) []string {
+	served := map[string]bool{}
+	for _, ap := range plan.Arrays {
+		if ap.Place == sched.Served {
+			served[ap.Array] = true
+		}
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range spec.Refs {
+		if r.IsWrite || r.Array == spec.IterSpaceArray || seen[r.Array] || !served[r.Array] {
+			continue
+		}
+		seen[r.Array] = true
+		out = append(out, r.Array)
+	}
+	return out
+}

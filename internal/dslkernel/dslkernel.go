@@ -1,0 +1,206 @@
+// Package dslkernel compiles DefineLoop messages — DSL loop source
+// shipped by the driver over the wire — into executable runtime
+// kernels. Installing it (Install) gives any executor process,
+// including the generic cmd/orion-worker binary, the ability to run
+// loops it has never seen before: the distributed analogue of Orion's
+// macro defining generated loop-body functions in its workers.
+package dslkernel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"orion/internal/lang"
+	"orion/internal/runtime"
+)
+
+// Install registers the DSL loop compiler with the runtime. Idempotent.
+func Install() {
+	runtime.SetLoopCompiler(Compile)
+}
+
+// Compile builds a kernel (and prefetch functions) from a DefineLoop
+// message.
+func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc, error) {
+	loop, err := lang.Parse(def.LoopSrc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dslkernel: parsing shipped loop: %w", err)
+	}
+	if len(def.GlobalNames) != len(def.GlobalVals) {
+		return nil, nil, fmt.Errorf("dslkernel: mismatched globals")
+	}
+	globals := make(map[string]float64, len(def.GlobalNames))
+	for i, n := range def.GlobalNames {
+		globals[n] = def.GlobalVals[i]
+	}
+
+	// The kernel is invoked only from its executor's message loop, so a
+	// single lazily initialized machine per kernel instance suffices.
+	loopName := def.LoopName
+	var ms *machineState
+	kernel := func(ctx *runtime.Ctx, key []int64, val float64) {
+		if ms == nil {
+			ms = newMachineState(ctx, loop, def.ArrayDims, def.Buffers, globals, def.AccumNames)
+			// Seed the rand() builtin deterministically per (loop,
+			// executor): sampling kernels (e.g. Gibbs) stay
+			// reproducible.
+			h := fnv.New64a()
+			h.Write([]byte(loopName))
+			ms.m.Rng = rand.New(rand.NewSource(int64(h.Sum64()) ^ int64(ctx.ExecutorID()*7919)))
+		}
+		ms.run(ctx, key, val)
+	}
+
+	prefetch := map[string]runtime.PrefetchFunc{}
+	if def.PrefetchSrc != "" && len(def.PrefetchArrays) > 0 {
+		sliced, err := lang.Parse(def.PrefetchSrc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dslkernel: parsing shipped prefetch slice: %w", err)
+		}
+		for _, target := range def.PrefetchArrays {
+			target := target
+			prefetch[target] = func(key []int64, val float64) []int64 {
+				m := lang.NewMachine()
+				for name, d := range def.ArrayDims {
+					m.Arrays[name] = dimsOnly(d)
+				}
+				for k, v := range globals {
+					m.Globals[k] = v
+				}
+				m.Recorder = lang.NewRecorder(target)
+				if err := m.RunIteration(sliced, key, val); err != nil {
+					return nil
+				}
+				return m.Recorder.Indices[target]
+			}
+		}
+	}
+	return kernel, prefetch, nil
+}
+
+// machineState is one executor's interpreter instance for one loop.
+type machineState struct {
+	m       *lang.Machine
+	loop    *lang.Loop
+	accums  []string
+	lastAcc map[string]float64
+}
+
+func newMachineState(ctx *runtime.Ctx, loop *lang.Loop, dims map[string][]int64,
+	buffers map[string]string, globals map[string]float64, accums []string) *machineState {
+	m := lang.NewMachine()
+	for name, d := range dims {
+		if name == loop.IterVar {
+			continue
+		}
+		if ctx.HasPartition(name) {
+			m.Arrays[name] = &partView{ctx: ctx, name: name, dims: d}
+		} else {
+			m.Arrays[name] = &servedView{ctx: ctx, name: name, dims: d}
+		}
+	}
+	for bname, target := range buffers {
+		m.Buffers[bname] = &ctxBuffer{ctx: ctx, target: target, dims: dims[target]}
+	}
+	for k, v := range globals {
+		m.Globals[k] = v
+	}
+	ms := &machineState{m: m, loop: loop, accums: accums, lastAcc: map[string]float64{}}
+	for _, a := range accums {
+		if _, ok := m.Globals[a]; !ok {
+			m.Globals[a] = float64(0)
+		}
+		ms.lastAcc[a] = asFloat(m.Globals[a])
+	}
+	return ms
+}
+
+func (ms *machineState) run(ctx *runtime.Ctx, key []int64, val float64) {
+	if err := ms.m.RunIteration(ms.loop, key, val); err != nil {
+		panic(fmt.Sprintf("dslkernel: interpreted kernel: %v", err))
+	}
+	for _, a := range ms.accums {
+		cur := asFloat(ms.m.Globals[a])
+		if d := cur - ms.lastAcc[a]; d != 0 {
+			ctx.AccumAdd(a, d)
+			ms.lastAcc[a] = cur
+		}
+	}
+}
+
+func asFloat(v lang.Value) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+// partView adapts an executor's (possibly rotated) partition to the
+// interpreter's ArrayAccess, with global coordinates. The partition is
+// looked up per access because rotation replaces it between blocks.
+type partView struct {
+	ctx  *runtime.Ctx
+	name string
+	dims []int64
+}
+
+func (p *partView) Dims() []int64 { return p.dims }
+func (p *partView) At(idx ...int64) float64 {
+	return p.ctx.PartitionOf(p.name).At(idx...)
+}
+func (p *partView) SetAt(v float64, idx ...int64) {
+	p.ctx.PartitionOf(p.name).SetAt(v, idx...)
+}
+
+// servedView adapts parameter-server reads; writes must go through a
+// DistArray Buffer (dependence analysis would have rejected the loop
+// otherwise).
+type servedView struct {
+	ctx  *runtime.Ctx
+	name string
+	dims []int64
+}
+
+func (s *servedView) Dims() []int64 { return s.dims }
+func (s *servedView) At(idx ...int64) float64 {
+	return s.ctx.ServedRead(s.name, flatten(s.dims, idx))
+}
+func (s *servedView) SetAt(v float64, idx ...int64) {
+	// Direct writes to a served array are legal only when the plan
+	// guarantees this worker is the sole writer (ordered wavefront
+	// execution); they ship as absolute last-write-wins updates.
+	s.ctx.ServedSet(s.name, flatten(s.dims, idx), v)
+}
+
+// ctxBuffer adapts DistArray Buffer writes to served-array update
+// batches.
+type ctxBuffer struct {
+	ctx    *runtime.Ctx
+	target string
+	dims   []int64
+}
+
+func (b *ctxBuffer) Put(update float64, idx ...int64) bool {
+	b.ctx.ServedUpdate(b.target, flatten(b.dims, idx), update)
+	return false
+}
+
+// dimsOnly is an ArrayAccess exposing only extents — used by the
+// prefetch recorder, whose sliced program never actually reads.
+type dimsOnly []int64
+
+func (d dimsOnly) Dims() []int64 { return d }
+func (d dimsOnly) At(...int64) float64 {
+	panic("dslkernel: prefetch slice attempted a real array read")
+}
+func (d dimsOnly) SetAt(float64, ...int64) {
+	panic("dslkernel: prefetch slice attempted an array write")
+}
+
+func flatten(dims, idx []int64) int64 {
+	var off, stride int64 = 0, 1
+	for i := range dims {
+		off += idx[i] * stride
+		stride *= dims[i]
+	}
+	return off
+}

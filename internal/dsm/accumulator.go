@@ -1,0 +1,54 @@
+package dsm
+
+// Accumulator mirrors Orion's @accumulator (Section 3.4): each worker
+// holds an instance whose state persists across parallel for-loop
+// executions; the driver aggregates all instances with a user-defined
+// commutative and associative operator and may reset them.
+type Accumulator struct {
+	name string
+	init float64
+	vals []float64 // one per worker
+}
+
+// NewAccumulator creates an accumulator with one instance per worker,
+// each initialized to init.
+func NewAccumulator(name string, workers int, init float64) *Accumulator {
+	a := &Accumulator{name: name, init: init, vals: make([]float64, workers)}
+	a.Reset()
+	return a
+}
+
+// Name returns the accumulator's name.
+func (a *Accumulator) Name() string { return a.name }
+
+// Add folds v into worker w's instance using +. For non-additive
+// accumulation use Update.
+func (a *Accumulator) Add(w int, v float64) { a.vals[w] += v }
+
+// Update folds v into worker w's instance with op.
+func (a *Accumulator) Update(w int, v float64, op func(a, b float64) float64) {
+	a.vals[w] = op(a.vals[w], v)
+}
+
+// Aggregate combines all workers' instances with op
+// (Orion.get_aggregated_value).
+func (a *Accumulator) Aggregate(op func(a, b float64) float64) float64 {
+	out := a.vals[0]
+	for _, v := range a.vals[1:] {
+		out = op(out, v)
+	}
+	return out
+}
+
+// Sum aggregates with +.
+func (a *Accumulator) Sum() float64 {
+	return a.Aggregate(func(x, y float64) float64 { return x + y })
+}
+
+// Reset restores every instance to the initial value
+// (Orion.reset_accumulator).
+func (a *Accumulator) Reset() {
+	for i := range a.vals {
+		a.vals[i] = a.init
+	}
+}

@@ -1,0 +1,158 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ApplyUDF merges one buffered update into a DistArray element. It is
+// executed atomically per element when a buffer is flushed, enabling
+// read-modify-write update rules such as adaptive gradient algorithms
+// (Section 3.3).
+type ApplyUDF func(current, update float64) float64
+
+// AddUDF is the default apply function: plain accumulation.
+func AddUDF(current, update float64) float64 { return current + update }
+
+// Buffer is a DistArray Buffer: a per-worker write-back buffer whose
+// writes are exempt from dependence analysis. Writes accumulate locally
+// and are applied to the backing DistArray later via the apply UDF.
+type Buffer struct {
+	array   string
+	dims    []int64
+	udf     ApplyUDF
+	pending map[int64]float64 // flattened index -> combined update
+	order   []int64           // first-write order for deterministic flush
+	// MaxBuffered, when > 0, bounds how many distinct elements may be
+	// buffered before Put reports that a flush is required ("The
+	// application program may optionally bound how long the writes can
+	// be buffered").
+	MaxBuffered int
+	writes      int64
+	flat        func(idx []int64) int64
+}
+
+// NewBuffer creates a buffer for the given DistArray.
+func NewBuffer(a *DistArray, udf ApplyUDF) *Buffer {
+	if udf == nil {
+		udf = AddUDF
+	}
+	return &Buffer{
+		array:   a.Name(),
+		dims:    a.Dims(),
+		udf:     udf,
+		pending: make(map[int64]float64),
+		flat: func(idx []int64) int64 {
+			return a.Flatten(idx...)
+		},
+	}
+}
+
+// Put buffers an update for one element. Multiple updates to the same
+// element combine additively in the buffer (they are deltas); the UDF
+// governs how the combined delta merges into the array at flush time.
+// It returns true when the buffer has reached MaxBuffered and should be
+// flushed.
+func (b *Buffer) Put(update float64, idx ...int64) bool {
+	off := b.flat(idx)
+	if _, ok := b.pending[off]; !ok {
+		b.order = append(b.order, off)
+	}
+	b.pending[off] += update
+	b.writes++
+	return b.MaxBuffered > 0 && len(b.pending) >= b.MaxBuffered
+}
+
+// Len returns the number of distinct buffered elements.
+func (b *Buffer) Len() int { return len(b.pending) }
+
+// Writes returns the total number of Put calls since the last flush.
+func (b *Buffer) Writes() int64 { return b.writes }
+
+// Flush applies all buffered updates to the array via the UDF, in
+// first-write order, and clears the buffer. Returns the number of
+// elements updated.
+func (b *Buffer) Flush(a *DistArray) int {
+	if a.Name() != b.array {
+		panic(fmt.Sprintf("dsm: flushing buffer of %q into %q", b.array, a.Name()))
+	}
+	n := 0
+	for _, off := range b.order {
+		u, ok := b.pending[off]
+		if !ok {
+			continue
+		}
+		idx := a.Unflatten(off)
+		cur := a.At(idx...)
+		a.SetAt(b.udf(cur, u), idx...)
+		n++
+	}
+	b.pending = make(map[int64]float64)
+	b.order = b.order[:0]
+	b.writes = 0
+	return n
+}
+
+// Drain returns and clears the buffered (offset, update) pairs without
+// applying them — used by the runtime to ship updates to the server
+// processes that own the array.
+func (b *Buffer) Drain() (offs []int64, updates []float64) {
+	offs = make([]int64, 0, len(b.pending))
+	for _, off := range b.order {
+		if _, ok := b.pending[off]; ok {
+			offs = append(offs, off)
+		}
+	}
+	updates = make([]float64, len(offs))
+	for i, off := range offs {
+		updates[i] = b.pending[off]
+	}
+	b.pending = make(map[int64]float64)
+	b.order = b.order[:0]
+	b.writes = 0
+	return offs, updates
+}
+
+// TopK returns the k buffered updates with the largest magnitude (and
+// removes them from the buffer) — the magnitude-prioritized early
+// communication of Bösen's managed communication (Section 6.4).
+func (b *Buffer) TopK(k int) (offs []int64, updates []float64) {
+	type kv struct {
+		off int64
+		u   float64
+	}
+	all := make([]kv, 0, len(b.pending))
+	for off, u := range b.pending {
+		all = append(all, kv{off, u})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ai, aj := all[i].u, all[j].u
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		return all[i].off < all[j].off // deterministic tie-break
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	for i := 0; i < k; i++ {
+		offs = append(offs, all[i].off)
+		updates = append(updates, all[i].u)
+		delete(b.pending, all[i].off)
+	}
+	// Rebuild order without the removed offsets.
+	norder := b.order[:0]
+	for _, off := range b.order {
+		if _, ok := b.pending[off]; ok {
+			norder = append(norder, off)
+		}
+	}
+	b.order = norder
+	return offs, updates
+}

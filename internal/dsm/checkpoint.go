@@ -1,0 +1,62 @@
+package dsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile checkpoints the array to disk (eagerly evaluated, like the
+// paper's fault-tolerance mechanism in Section 4.3: "An Orion driver
+// program can checkpoint a DistArray by writing it to disk").
+func (a *DistArray) WriteFile(path string) error {
+	data, err := a.Encode()
+	if err != nil {
+		return fmt.Errorf("dsm: checkpoint %s: %w", a.Name(), err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("dsm: checkpoint %s: %w", a.Name(), err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadFile restores an array from a checkpoint file.
+func ReadFile(path string) (*DistArray, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dsm: restore: %w", err)
+	}
+	a, err := DecodeArray(data)
+	if err != nil {
+		return nil, fmt.Errorf("dsm: restore %s: %w", path, err)
+	}
+	return a, nil
+}
+
+// CheckpointDir writes one file per array into dir (created if needed),
+// named <array>.ckpt.
+func CheckpointDir(dir string, arrays ...*DistArray) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, a := range arrays {
+		if err := a.WriteFile(filepath.Join(dir, a.Name()+".ckpt")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreDir loads every <name>.ckpt in dir.
+func RestoreDir(dir string, names ...string) (map[string]*DistArray, error) {
+	out := make(map[string]*DistArray, len(names))
+	for _, name := range names {
+		a, err := ReadFile(filepath.Join(dir, name+".ckpt"))
+		if err != nil {
+			return nil, err
+		}
+		out[name] = a
+	}
+	return out, nil
+}

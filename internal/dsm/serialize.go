@@ -1,0 +1,71 @@
+package dsm
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// wireArray is the gob wire form of a DistArray.
+type wireArray struct {
+	Name   string
+	Dims   []int64
+	Dense  []float64
+	Sparse map[int64]float64
+}
+
+// wirePartition is the gob wire form of a Partition.
+type wirePartition struct {
+	Array string
+	Dim   int
+	Lo    int64
+	Hi    int64
+	Local wireArray
+}
+
+func (a *DistArray) wire() wireArray {
+	return wireArray{Name: a.name, Dims: a.dims, Dense: a.dense, Sparse: a.sparse}
+}
+
+func fromWire(w wireArray) *DistArray {
+	a := newArray(w.Name, w.Dims)
+	a.dense = w.Dense
+	a.sparse = w.Sparse
+	return a
+}
+
+// Encode serializes the array with encoding/gob.
+func (a *DistArray) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(a.wire()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeArray deserializes an array produced by Encode.
+func DecodeArray(data []byte) (*DistArray, error) {
+	var w wireArray
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	return fromWire(w), nil
+}
+
+// Encode serializes the partition with encoding/gob.
+func (p *Partition) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	w := wirePartition{Array: p.Array, Dim: p.Dim, Lo: p.Lo, Hi: p.Hi, Local: p.Local.wire()}
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePartition deserializes a partition produced by Encode.
+func DecodePartition(data []byte) (*Partition, error) {
+	var w wirePartition
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, err
+	}
+	return &Partition{Array: w.Array, Dim: w.Dim, Lo: w.Lo, Hi: w.Hi, Local: fromWire(w.Local)}, nil
+}

@@ -1,0 +1,121 @@
+// Package engine executes ML training applications under the
+// parallelization strategies the paper evaluates, with exact staleness
+// and conflict semantics, charging simulated time to a cluster cost
+// model:
+//
+//   - Serial                      — the gold-standard baseline
+//   - Orion (1D / 2D ordered / 2D unordered+pipelined) — dependence-aware
+//   - STRADS                      — manual model parallelism (same
+//     schedule, C++ cost profile, free same-machine rotation)
+//   - DataParallel                — Bösen-style parameter server,
+//     synchronize once per pass
+//   - ManagedComm                 — Bösen CM: bandwidth-budgeted,
+//     magnitude-prioritized mid-pass communication
+//   - Dataflow                    — TensorFlow-style synchronous
+//     mini-batch execution
+//
+// Engines run the algorithms for real: loss-versus-iteration curves are
+// exact for each strategy's semantics. Time axes come from the
+// cluster.Config cost model.
+package engine
+
+import (
+	"math/rand"
+
+	"orion/internal/dsm"
+	"orion/internal/ir"
+	"orion/internal/optim"
+)
+
+// IndexBy declares which iteration-space coordinate indexes a parameter
+// table, which determines its placement under each strategy.
+type IndexBy int
+
+const (
+	// ByRow: table row = sample.Row (e.g. MF's W, LDA's doc-topic).
+	ByRow IndexBy = iota
+	// ByCol: table row = sample.Col (e.g. MF's H, LDA's word-topic).
+	ByCol
+	// Global: a single row shared by all iterations (e.g. LDA's topic
+	// totals) — a non-critical dependence under rotation.
+	Global
+	// ByRuntime: rows selected by runtime data (e.g. SLR's weights,
+	// indexed by a sample's nonzero features).
+	ByRuntime
+)
+
+func (b IndexBy) String() string {
+	switch b {
+	case ByRow:
+		return "by-row"
+	case ByCol:
+		return "by-col"
+	case Global:
+		return "global"
+	case ByRuntime:
+		return "by-runtime"
+	default:
+		return "unknown"
+	}
+}
+
+// TableSpec declares one parameter table.
+type TableSpec struct {
+	Name      string
+	Rows      int64
+	Width     int
+	IndexedBy IndexBy
+	// Optimizer is the prototype update rule; engines Clone it per run.
+	Optimizer optim.Optimizer
+}
+
+// RowBytes returns the wire size of one table row.
+func (t TableSpec) RowBytes() int64 { return int64(t.Width) * 8 }
+
+// Bytes returns the wire size of the whole table.
+func (t TableSpec) Bytes() int64 { return t.Rows * t.RowBytes() }
+
+// Sample is one loop iteration: a point of the 2D iteration space plus
+// the app-side record index.
+type Sample struct {
+	Row, Col int64
+	Idx      int
+}
+
+// Store is the parameter access interface kernels run against. Its
+// implementation encodes the strategy's consistency semantics.
+type Store interface {
+	// Read returns the current value of a table row under the store's
+	// semantics. Kernels must treat the slice as read-only.
+	Read(table int, row int64) []float64
+	// Update submits a gradient (or delta, for identity tables) for a
+	// row. When it is applied — immediately, at a barrier, or at a
+	// bandwidth-budgeted flush — is the store's business.
+	Update(table int, row int64, g []float64)
+}
+
+// App is a training application runnable under every engine.
+type App interface {
+	// Name identifies the application.
+	Name() string
+	// IterDims returns the 2D iteration-space extents. 1D apps return
+	// (n, 1).
+	IterDims() (rows, cols int64)
+	// NumSamples returns the number of loop iterations per data pass.
+	NumSamples() int
+	// SampleAt returns the i-th sample.
+	SampleAt(i int) Sample
+	// Tables declares the parameter tables.
+	Tables() []TableSpec
+	// Init resets app-internal state (e.g. LDA topic assignments) and
+	// returns freshly initialized parameter tables matching Tables().
+	Init(seed int64) []*dsm.DistArray
+	// Process executes one loop iteration against the store.
+	Process(s Sample, st Store, rng *rand.Rand)
+	// Loss evaluates the objective on the master parameter state.
+	Loss(tables []*dsm.DistArray) float64
+	// FlopsPerSample estimates the compute cost of one iteration.
+	FlopsPerSample() float64
+	// LoopSpec returns the loop IR for dependence analysis.
+	LoopSpec() *ir.LoopSpec
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"orion/internal/cluster"
+	"orion/internal/dsm"
+)
+
+// RunDataflow executes TensorFlow-style synchronous mini-batch
+// training on a single machine (the Fig. 13 setup): the whole
+// mini-batch's gradient is computed against the current parameters and
+// applied once per batch. Cost model peculiarities of a dataflow system
+// on sparse data (Section 6.4): a per-batch graph dispatch overhead, a
+// dense redundant-compute factor, and core under-utilization for small
+// batches.
+func RunDataflow(app App, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	if cfg.MinibatchSize <= 0 {
+		cfg.MinibatchSize = app.NumSamples()
+	}
+	master := NewMasterStore(app, cfg.Seed)
+	specs := app.Tables()
+	n := app.NumSamples()
+	rng := workerRngs(cfg.Seed, 1)[0]
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Every table is stale within a batch: gradients apply at batch end.
+	fresh := make([]bool, len(specs))
+
+	var clock cluster.Clock
+	res := &Result{Engine: "dataflow", App: app.Name()}
+	var cumBytes int64
+	B := cfg.MinibatchSize
+
+	cores := cfg.Cluster.WorkersPerMachine
+	if cores <= 0 {
+		cores = 1
+	}
+
+	for pass := 0; pass < cfg.Passes; pass++ {
+		shuffleInts(rng, order)
+		for lo := 0; lo < n; lo += B {
+			hi := lo + B
+			if hi > n {
+				hi = n
+			}
+			snap := make([]*dsm.DistArray, len(specs))
+			for t := range specs {
+				snap[t] = master.Tables()[t].Clone()
+			}
+			st := NewSnapshotStore(master, snap, fresh)
+			for _, i := range order[lo:hi] {
+				app.Process(app.SampleAt(i), st, rng)
+			}
+			batch := hi - lo
+			// Dataflow frameworks average the mini-batch gradient and
+			// apply it once per batch.
+			st.FlushScaled(1 / float64(batch))
+			flops := float64(batch) * app.FlopsPerSample() * cfg.DenseComputeFactor
+			// Parallelism within a batch saturates at
+			// UtilSaturationBatch samples per core.
+			par := batch / cfg.UtilSaturationBatch
+			if par < 1 {
+				par = 1
+			}
+			if par > cores {
+				par = cores
+			}
+			t := cfg.BatchFixedOverheadSec + cfg.Cluster.ComputeTime(flops)/float64(par)
+			clock.Advance(t)
+		}
+		recordPass(res, &clock, cumBytes, app, master, cfg)
+	}
+	return res
+}

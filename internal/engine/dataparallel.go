@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"orion/internal/cluster"
+	"orion/internal/dsm"
+	"orion/internal/sched"
+)
+
+// RunDataParallel executes Bösen-style data parallelism: the training
+// set is partitioned across workers (by the row coordinate, so
+// row-indexed tables stay local); workers process their partitions
+// against a parameter snapshot, accumulating updates that are applied
+// at a barrier once per pass (or SyncsPerPass times per pass).
+func RunDataParallel(app App, cfg Config) *Result {
+	return runPS(app, cfg.withDefaults(), false, "data-parallel")
+}
+
+// RunManagedComm executes Bösen with Managed Communication: in addition
+// to barrier synchronization, workers continuously flush their
+// largest-magnitude buffered updates (and refresh those rows) within a
+// per-machine bandwidth budget, reducing staleness at the price of
+// bandwidth and CPU overhead (Section 6.4).
+func RunManagedComm(app App, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	if cfg.CommTicks <= 0 {
+		cfg.CommTicks = 8
+	}
+	if cfg.BandwidthBudgetMbps <= 0 {
+		cfg.BandwidthBudgetMbps = 1600
+	}
+	if cfg.CMOverhead <= 1 {
+		cfg.CMOverhead = 1.15
+	}
+	return runPS(app, cfg, true, "managed-comm")
+}
+
+func runPS(app App, cfg Config, managed bool, name string) *Result {
+	master := NewMasterStore(app, cfg.Seed)
+	specs := app.Tables()
+	n := app.NumSamples()
+	nw := cfg.Workers
+	rows, _ := app.IterDims()
+
+	// Partition samples by the row coordinate so ByRow tables are
+	// worker-local and fresh (Bösen applications partition data by
+	// rows/documents).
+	weights := sched.Weights(rows, n, func(i int) int64 { return app.SampleAt(i).Row })
+	part := sched.NewHistogramPartitioner(weights, nw)
+	blocks := make([][]int, nw)
+	for i := 0; i < n; i++ {
+		w := part.PartOf(app.SampleAt(i).Row)
+		blocks[w] = append(blocks[w], i)
+	}
+
+	fresh := make([]bool, len(specs))
+	var sharedRowBytes int64
+	var sharedRows int64
+	for t, s := range specs {
+		fresh[t] = s.IndexedBy == ByRow
+		if !fresh[t] {
+			sharedRowBytes += s.RowBytes()
+			sharedRows++
+		}
+	}
+	avgRowBytes := int64(64)
+	if sharedRows > 0 {
+		avgRowBytes = sharedRowBytes / sharedRows
+	}
+
+	var clock cluster.Clock
+	res := &Result{Engine: name, App: app.Name()}
+	if cfg.TraceWindowSec > 0 {
+		res.Trace = cluster.NewBandwidthTrace(cfg.TraceWindowSec)
+	}
+	rngs := workerRngs(cfg.Seed, nw)
+	var cumBytes int64
+
+	machines := cfg.Cluster.Machines
+	if machines <= 0 {
+		machines = 1
+	}
+
+	for pass := 0; pass < cfg.Passes; pass++ {
+		for w := 0; w < nw; w++ {
+			shuffleInts(rngs[w], blocks[w])
+		}
+		for sync := 0; sync < cfg.SyncsPerPass; sync++ {
+			// Shared snapshot for this sync interval.
+			snap := make([]*dsm.DistArray, len(specs))
+			for t := range specs {
+				if !fresh[t] {
+					snap[t] = master.Tables()[t].Clone()
+				}
+			}
+			stores := make([]*SnapshotStore, nw)
+			for w := 0; w < nw; w++ {
+				stores[w] = NewSnapshotStore(master, snap, fresh)
+			}
+
+			// Compute time for this interval: max worker slice.
+			var maxFlops float64
+			for w := 0; w < nw; w++ {
+				f := float64(sliceLen(blocks[w], sync, cfg.SyncsPerPass)) * app.FlopsPerSample()
+				if f > maxFlops {
+					maxFlops = f
+				}
+			}
+			computeTime := cfg.Cluster.ComputeTime(maxFlops)
+			if managed {
+				computeTime *= cfg.CMOverhead
+			}
+
+			ticks := 1
+			var tickBudgetRows int
+			if managed {
+				ticks = cfg.CommTicks
+				workersPerMachine := (nw + machines - 1) / machines
+				budgetBytesPerSec := cfg.BandwidthBudgetMbps * 1e6 / 8
+				tickDur := computeTime / float64(ticks)
+				perWorkerTickBytes := budgetBytesPerSec * tickDur / float64(workersPerMachine)
+				tickBudgetRows = int(perWorkerTickBytes / float64(avgRowBytes))
+				if tickBudgetRows < 1 {
+					tickBudgetRows = 1
+				}
+			}
+
+			// Process the interval in tick chunks so managed
+			// communication interleaves with compute.
+			var tickedBytes int64
+			for tick := 0; tick < ticks; tick++ {
+				for w := 0; w < nw; w++ {
+					lo, hi := chunkBounds(sliceOf(blocks[w], sync, cfg.SyncsPerPass), tick, ticks)
+					slice := sliceOf(blocks[w], sync, cfg.SyncsPerPass)
+					for _, i := range slice[lo:hi] {
+						app.Process(app.SampleAt(i), stores[w], rngs[w])
+					}
+				}
+				if managed && tick < ticks-1 {
+					for w := 0; w < nw; w++ {
+						tickedBytes += stores[w].FlushTopK(tickBudgetRows)
+					}
+				}
+			}
+
+			// Barrier: flush everything, charge communication.
+			var upBytes int64
+			for w := 0; w < nw; w++ {
+				upBytes += stores[w].Flush()
+			}
+			barrierBytes := upBytes * 2 // updates up + fresh values down
+			commTime := cfg.Cluster.TransferTime((barrierBytes+tickedBytes)/int64(machines), false)
+			total := computeTime + commTime
+			if res.Trace != nil {
+				res.Trace.Record(clock.Now(), total, barrierBytes+tickedBytes)
+			}
+			clock.Advance(total)
+			cumBytes += barrierBytes + tickedBytes
+		}
+		recordPass(res, &clock, cumBytes, app, master, cfg)
+	}
+	return res
+}
+
+// sliceOf returns worker block b's sub-slice for sync interval k of m.
+func sliceOf(b []int, k, m int) []int {
+	lo := len(b) * k / m
+	hi := len(b) * (k + 1) / m
+	return b[lo:hi]
+}
+
+func sliceLen(b []int, k, m int) int {
+	return len(b)*(k+1)/m - len(b)*k/m
+}
+
+// chunkBounds splits a slice into tick chunks.
+func chunkBounds(s []int, tick, ticks int) (int, int) {
+	return len(s) * tick / ticks, len(s) * (tick + 1) / ticks
+}

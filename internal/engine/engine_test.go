@@ -1,0 +1,453 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"orion/internal/cluster"
+	"orion/internal/data"
+	"orion/internal/dsm"
+	"orion/internal/ir"
+	"orion/internal/optim"
+)
+
+// testApp builds a small MF-like app without importing internal/apps
+// (which would create an import cycle in tests); instead we re-declare a
+// minimal MF kernel here against the engine interfaces.
+//
+// To avoid duplicating the real app logic, engine tests use mfTestApp,
+// a compact matrix-factorization app sufficient to exercise every
+// engine path.
+type mfTestApp struct {
+	r    *data.Ratings
+	rank int
+	opt  optim.Optimizer
+	gw   []float64
+	gh   []float64
+}
+
+func newMFTest(seed int64, opt optim.Optimizer) *mfTestApp {
+	r := data.NewRatings(data.RatingsConfig{
+		Rows: 60, Cols: 50, NNZ: 1500, Rank: 8, Noise: 0.05, Seed: seed,
+	})
+	return &mfTestApp{r: r, rank: r.Rank, opt: opt,
+		gw: make([]float64, r.Rank), gh: make([]float64, r.Rank)}
+}
+
+func (m *mfTestApp) Name() string             { return "mf-test" }
+func (m *mfTestApp) IterDims() (int64, int64) { return m.r.Rows, m.r.Cols }
+func (m *mfTestApp) NumSamples() int          { return len(m.r.I) }
+func (m *mfTestApp) SampleAt(i int) Sample {
+	return Sample{Row: m.r.I[i], Col: m.r.J[i], Idx: i}
+}
+func (m *mfTestApp) Tables() []TableSpec {
+	return []TableSpec{
+		{Name: "W", Rows: m.r.Rows, Width: m.rank, IndexedBy: ByRow, Optimizer: m.opt},
+		{Name: "H", Rows: m.r.Cols, Width: m.rank, IndexedBy: ByCol, Optimizer: m.opt},
+	}
+}
+
+func (m *mfTestApp) Init(seed int64) []*dsm.DistArray {
+	rng := rand.New(rand.NewSource(seed))
+	w := dsm.NewDense("W", int64(m.rank), m.r.Rows)
+	h := dsm.NewDense("H", int64(m.rank), m.r.Cols)
+	w.FillRandn(rng, 1.0/float64(m.rank))
+	h.FillRandn(rng, 1.0)
+	return []*dsm.DistArray{w, h}
+}
+
+func (m *mfTestApp) Process(s Sample, st Store, _ *rand.Rand) {
+	w := st.Read(0, s.Row)
+	h := st.Read(1, s.Col)
+	var pred float64
+	for d := 0; d < m.rank; d++ {
+		pred += w[d] * h[d]
+	}
+	diff := pred - m.r.V[s.Idx]
+	for d := 0; d < m.rank; d++ {
+		m.gw[d] = 2 * diff * h[d]
+		m.gh[d] = 2 * diff * w[d]
+	}
+	st.Update(0, s.Row, m.gw)
+	st.Update(1, s.Col, m.gh)
+}
+
+func (m *mfTestApp) Loss(tables []*dsm.DistArray) float64 {
+	w, h := tables[0], tables[1]
+	var loss float64
+	for i := range m.r.I {
+		wv := w.Vec(m.r.I[i])
+		hv := h.Vec(m.r.J[i])
+		var pred float64
+		for d := 0; d < m.rank; d++ {
+			pred += wv[d] * hv[d]
+		}
+		e := pred - m.r.V[i]
+		loss += e * e
+	}
+	return loss
+}
+
+func (m *mfTestApp) FlopsPerSample() float64 { return float64(8 * m.rank) }
+
+func (m *mfTestApp) LoopSpec() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name:           "mf_test",
+		IterSpaceArray: "ratings",
+		Dims:           []int64{m.r.Rows, m.r.Cols},
+		Refs: []ir.ArrayRef{
+			{Array: "W", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}},
+			{Array: "H", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}},
+			{Array: "W", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}, IsWrite: true},
+			{Array: "H", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}, IsWrite: true},
+		},
+	}
+}
+
+func smallCluster() cluster.Config {
+	// Scaled so compute dominates communication at test-size datasets,
+	// as it does at the paper's scale: slow cores, fast low-latency net.
+	c := cluster.Default()
+	c.Machines = 4
+	c.WorkersPerMachine = 4
+	c.FlopsPerSec = 1e6
+	c.LatencySec = 1e-5
+	return c
+}
+
+func cfgN(workers, passes int) Config {
+	return Config{Workers: workers, Passes: passes, Seed: 1, Cluster: smallCluster(), PipelineDepth: 2}
+}
+
+func TestSerialConverges(t *testing.T) {
+	app := newMFTest(11, optim.NewSGD(0.1))
+	res := RunSerial(app, cfgN(1, 8))
+	if len(res.Loss) != 8 {
+		t.Fatalf("got %d loss points", len(res.Loss))
+	}
+	if res.Loss[7] >= res.Loss[0]*0.5 {
+		t.Fatalf("serial SGD did not converge: %v", res.Loss)
+	}
+	for i := 1; i < len(res.Time); i++ {
+		if res.Time[i] <= res.Time[i-1] {
+			t.Fatal("time must be strictly increasing")
+		}
+	}
+}
+
+func TestSerialDeterministic(t *testing.T) {
+	a := RunSerial(newMFTest(11, optim.NewSGD(0.1)), cfgN(1, 3))
+	b := RunSerial(newMFTest(11, optim.NewSGD(0.1)), cfgN(1, 3))
+	for i := range a.Loss {
+		if a.Loss[i] != b.Loss[i] {
+			t.Fatalf("nondeterministic serial run: %v vs %v", a.Loss, b.Loss)
+		}
+	}
+}
+
+func TestOrion2DMatchesSerialConvergence(t *testing.T) {
+	passes := 8
+	serial := RunSerial(newMFTest(11, optim.NewSGD(0.1)), cfgN(1, passes))
+	orion, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfgN(8, passes), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dependence-preserving execution is serializable: per-iteration
+	// convergence must track serial closely (Fig. 9b).
+	for i := 2; i < passes; i++ {
+		ratio := orion.Loss[i] / serial.Loss[i]
+		if ratio > 1.5 || ratio < 0.5 {
+			t.Fatalf("pass %d: orion loss %v vs serial %v (ratio %v)",
+				i, orion.Loss[i], serial.Loss[i], ratio)
+		}
+	}
+}
+
+func TestDataParallelConvergesSlowerThanOrion(t *testing.T) {
+	passes := 8
+	workers := 16
+	orion, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfgN(workers, passes), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := RunDataParallel(newMFTest(11, optim.NewSGD(0.1)), cfgN(workers, passes))
+	if dp.FinalLoss() <= orion.FinalLoss() {
+		t.Fatalf("data parallelism should converge slower: dp %v orion %v",
+			dp.FinalLoss(), orion.FinalLoss())
+	}
+}
+
+func TestOrionFasterThanSerialWallClock(t *testing.T) {
+	app := newMFTest(11, optim.NewSGD(0.1))
+	serial := RunSerial(app, cfgN(1, 4))
+	orion, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfgN(8, 4), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orion.TimePerIter() >= serial.TimePerIter() {
+		t.Fatalf("8-worker orion (%vs/iter) should beat serial (%vs/iter)",
+			orion.TimePerIter(), serial.TimePerIter())
+	}
+}
+
+func TestUnorderedFasterThanOrdered(t *testing.T) {
+	// Table 3: relaxing ordering yields > 1x speedup (2.2x-6x in the
+	// paper) from full worker utilization + pipelined rotation.
+	cfg := cfgN(8, 4)
+	cfg.SkipLoss = true
+	unordered, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := ordered.TimePerIter() / unordered.TimePerIter()
+	if speedup <= 1.2 {
+		t.Fatalf("unordered should be meaningfully faster; speedup %v", speedup)
+	}
+}
+
+func TestOrderedConvergenceComparable(t *testing.T) {
+	// Fig. 9b: loop ordering makes negligible convergence difference.
+	passes := 6
+	u, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfgN(8, passes), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfgN(8, passes), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := o.FinalLoss() / u.FinalLoss()
+	if ratio > 2 || ratio < 0.5 {
+		t.Fatalf("ordered vs unordered convergence diverged: %v vs %v", o.FinalLoss(), u.FinalLoss())
+	}
+}
+
+func TestSTRADSFasterPerIterSameConvergence(t *testing.T) {
+	cfg := cfgN(8, 4)
+	cfg.Cluster.ComputeOverhead = 2.0 // Orion's managed-runtime overhead
+	orion, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strads, err := RunSTRADS(newMFTest(11, optim.NewSGD(0.1)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strads.TimePerIter() >= orion.TimePerIter() {
+		t.Fatalf("STRADS (%v) should be faster per iteration than Orion (%v)",
+			strads.TimePerIter(), orion.TimePerIter())
+	}
+	// Same schedule, same seed: identical per-iteration convergence
+	// (Fig. 11c).
+	for i := range orion.Loss {
+		if math.Abs(orion.Loss[i]-strads.Loss[i]) > 1e-9*math.Abs(orion.Loss[i]) {
+			t.Fatalf("pass %d: STRADS convergence must match Orion exactly: %v vs %v",
+				i, strads.Loss[i], orion.Loss[i])
+		}
+	}
+}
+
+func TestManagedCommImprovesOnDataParallel(t *testing.T) {
+	passes := 8
+	workers := 16
+	cfg := cfgN(workers, passes)
+	dp := RunDataParallel(newMFTest(11, optim.NewSGD(0.1)), cfg)
+	cm := RunManagedComm(newMFTest(11, optim.NewSGD(0.1)), cfg)
+	if cm.FinalLoss() >= dp.FinalLoss() {
+		t.Fatalf("managed communication should improve convergence: cm %v dp %v",
+			cm.FinalLoss(), dp.FinalLoss())
+	}
+	if cm.Bytes[len(cm.Bytes)-1] <= dp.Bytes[len(dp.Bytes)-1] {
+		t.Fatalf("managed communication should use more bandwidth: cm %v dp %v",
+			cm.Bytes[len(cm.Bytes)-1], dp.Bytes[len(dp.Bytes)-1])
+	}
+}
+
+func TestDataflowLargeBatchConvergesSlower(t *testing.T) {
+	passes := 6
+	serial := RunSerial(newMFTest(11, optim.NewSGD(0.1)), cfgN(1, passes))
+	cfg := cfgN(1, passes)
+	cfg.MinibatchSize = 750 // half the dataset per update
+	cfg.DenseComputeFactor = 2
+	df := RunDataflow(newMFTest(11, optim.NewSGD(0.1)), cfg)
+	if df.FinalLoss() <= serial.FinalLoss() {
+		t.Fatalf("large-minibatch dataflow should converge slower: df %v serial %v",
+			df.FinalLoss(), serial.FinalLoss())
+	}
+}
+
+func TestDataflowSmallBatchSlowerPerIter(t *testing.T) {
+	// Fig. 13b: smaller mini-batches under-utilize cores and pay more
+	// per-batch overhead.
+	base := cfgN(1, 2)
+	base.SkipLoss = true
+	base.BatchFixedOverheadSec = 0.01
+	base.UtilSaturationBatch = 32
+	big := base
+	big.MinibatchSize = 512
+	small := base
+	small.MinibatchSize = 32
+	rBig := RunDataflow(newMFTest(11, optim.NewSGD(0.1)), big)
+	rSmall := RunDataflow(newMFTest(11, optim.NewSGD(0.1)), small)
+	if rSmall.TimePerIter() <= rBig.TimePerIter() {
+		t.Fatalf("small batches should be slower per pass: small %v big %v",
+			rSmall.TimePerIter(), rBig.TimePerIter())
+	}
+}
+
+func TestRunOrionDispatch2D(t *testing.T) {
+	app := newMFTest(11, optim.NewSGD(0.1))
+	res, plan, err := RunOrion(app, cfgN(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind.String() != "2D" {
+		t.Fatalf("MF should plan as 2D, got %v", plan.Kind)
+	}
+	if res.Engine != "orion-2d-unordered" {
+		t.Fatalf("engine = %s", res.Engine)
+	}
+}
+
+func TestScalingMoreWorkersFaster(t *testing.T) {
+	// Fig. 9a: time per iteration decreases with workers.
+	var prev float64 = math.Inf(1)
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg := cfgN(w, 3)
+		cfg.SkipLoss = true
+		res, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpi := res.TimePerIter()
+		if tpi >= prev {
+			t.Fatalf("time/iter should decrease with workers: %d workers %v >= %v", w, tpi, prev)
+		}
+		prev = tpi
+	}
+}
+
+func TestPipelineDepthAblation(t *testing.T) {
+	// Depth >= 2 overlaps rotation with compute; depth 1 cannot.
+	mk := func(depth int) float64 {
+		cfg := cfgN(8, 3)
+		cfg.SkipLoss = true
+		cfg.PipelineDepth = depth
+		// Make communication non-trivial relative to compute.
+		cfg.Cluster.BandwidthBps = 2e6
+		res, err := RunOrion2D(newMFTest(11, optim.NewSGD(0.1)), cfg, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimePerIter()
+	}
+	if d2 := mk(2); d2 >= mk(1) {
+		t.Fatalf("pipelining should reduce time/iter: depth2 %v", d2)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{Loss: []float64{10, 5, 2}, Time: []float64{1, 2, 3}}
+	if got := r.TimeToLoss(5); got != 2 {
+		t.Fatalf("TimeToLoss = %v", got)
+	}
+	if got := r.TimeToLoss(0.1); !math.IsInf(got, 1) {
+		t.Fatalf("unreachable target should be +Inf, got %v", got)
+	}
+	if got := r.ItersToLoss(2); got != 3 {
+		t.Fatalf("ItersToLoss = %v", got)
+	}
+	if got := r.ItersToLoss(-1); got != -1 {
+		t.Fatalf("ItersToLoss unreachable = %v", got)
+	}
+	if got := r.TimePerIter(); got != 1 {
+		t.Fatalf("TimePerIter = %v", got)
+	}
+}
+
+func TestTraceRecordedForManagedComm(t *testing.T) {
+	cfg := cfgN(8, 3)
+	cfg.TraceWindowSec = 0.001
+	cm := RunManagedComm(newMFTest(11, optim.NewSGD(0.1)), cfg)
+	if cm.Trace == nil || cm.Trace.TotalBytes() == 0 {
+		t.Fatal("managed comm should record a bandwidth trace")
+	}
+}
+
+// rowApp reads and writes one row-indexed table cell per iteration —
+// dependences constrain only dim 0, so the planner picks 1D and the
+// engine runs workers against the master directly.
+type rowApp struct {
+	rows int64
+}
+
+func (a *rowApp) Name() string             { return "rows" }
+func (a *rowApp) IterDims() (int64, int64) { return a.rows, 1 }
+func (a *rowApp) NumSamples() int          { return int(a.rows * 3) }
+func (a *rowApp) SampleAt(i int) Sample {
+	return Sample{Row: int64(i) % a.rows, Col: 0, Idx: i}
+}
+func (a *rowApp) Tables() []TableSpec {
+	return []TableSpec{{Name: "A", Rows: a.rows, Width: 1, IndexedBy: ByRow}}
+}
+func (a *rowApp) Init(int64) []*dsm.DistArray {
+	return []*dsm.DistArray{dsm.NewDense("A", 1, a.rows)}
+}
+func (a *rowApp) Process(s Sample, st Store, _ *rand.Rand) {
+	st.Update(0, s.Row, []float64{1})
+}
+func (a *rowApp) Loss(tables []*dsm.DistArray) float64 {
+	var sum float64
+	for r := int64(0); r < a.rows; r++ {
+		sum += tables[0].Vec(r)[0]
+	}
+	return sum
+}
+func (a *rowApp) FlopsPerSample() float64 { return 1 }
+func (a *rowApp) LoopSpec() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name: "rows", IterSpaceArray: "events", Dims: []int64{a.rows, 1},
+		Refs: []ir.ArrayRef{
+			{Array: "A", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}},
+			{Array: "A", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}, IsWrite: true},
+		},
+	}
+}
+
+func TestRunOrionDispatchesOneD(t *testing.T) {
+	app := &rowApp{rows: 40}
+	res, plan, err := RunOrion(app, cfgN(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kind.String() != "1D" {
+		t.Fatalf("plan = %v, want 1D", plan.Kind)
+	}
+	if res.Engine != "orion-1d" {
+		t.Fatalf("engine = %s", res.Engine)
+	}
+	if got := res.FinalLoss(); got != float64(2*app.NumSamples()) {
+		t.Fatalf("total = %v, want %v", got, 2*app.NumSamples())
+	}
+	// 1D scales: more workers, less time.
+	cfg8 := cfgN(8, 2)
+	cfg8.SkipLoss = true
+	res8, _, err := RunOrion(app, cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg1 := cfgN(1, 2)
+	cfg1.SkipLoss = true
+	res1, _, err := RunOrion(app, cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res8.TimePerIter() >= res1.TimePerIter() {
+		t.Fatalf("1D should scale: 8w %v vs 1w %v", res8.TimePerIter(), res1.TimePerIter())
+	}
+}

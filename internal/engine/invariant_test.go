@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"orion/internal/dsm"
+	"orion/internal/ir"
+)
+
+// countApp increments one cell of a row-indexed table and one cell of a
+// column-indexed table per iteration. Updates commute exactly, so EVERY
+// engine — regardless of ordering, staleness, or batching — must
+// produce bitwise-identical final counts: a strong conservation
+// invariant separating scheduling semantics from update semantics.
+type countApp struct {
+	rows, cols int64
+	samples    []Sample
+}
+
+func newCountApp(rows, cols int64, n int, seed int64) *countApp {
+	rng := rand.New(rand.NewSource(seed))
+	a := &countApp{rows: rows, cols: cols}
+	for i := 0; i < n; i++ {
+		a.samples = append(a.samples, Sample{
+			Row: rng.Int63n(rows), Col: rng.Int63n(cols), Idx: i,
+		})
+	}
+	return a
+}
+
+func (a *countApp) Name() string             { return "count" }
+func (a *countApp) IterDims() (int64, int64) { return a.rows, a.cols }
+func (a *countApp) NumSamples() int          { return len(a.samples) }
+func (a *countApp) SampleAt(i int) Sample    { return a.samples[i] }
+func (a *countApp) Tables() []TableSpec {
+	return []TableSpec{
+		{Name: "R", Rows: a.rows, Width: 1, IndexedBy: ByRow},
+		{Name: "C", Rows: a.cols, Width: 1, IndexedBy: ByCol},
+	}
+}
+func (a *countApp) Init(int64) []*dsm.DistArray {
+	return []*dsm.DistArray{dsm.NewDense("R", 1, a.rows), dsm.NewDense("C", 1, a.cols)}
+}
+func (a *countApp) Process(s Sample, st Store, _ *rand.Rand) {
+	st.Update(0, s.Row, []float64{1})
+	st.Update(1, s.Col, []float64{1})
+}
+func (a *countApp) Loss(tables []*dsm.DistArray) float64 {
+	// "Loss" = total count, which must equal passes * samples.
+	var sum float64
+	for r := int64(0); r < a.rows; r++ {
+		sum += tables[0].Vec(r)[0]
+	}
+	return sum
+}
+func (a *countApp) FlopsPerSample() float64 { return 2 }
+func (a *countApp) LoopSpec() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name: "count", IterSpaceArray: "events",
+		Dims: []int64{a.rows, a.cols},
+		Refs: []ir.ArrayRef{
+			{Array: "R", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}},
+			{Array: "R", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}, IsWrite: true},
+			{Array: "C", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}},
+			{Array: "C", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}, IsWrite: true},
+		},
+	}
+}
+
+// TestAllEnginesConserveCommutativeUpdates: with purely additive
+// updates, every engine must deliver exactly passes*samples increments.
+func TestAllEnginesConserveCommutativeUpdates(t *testing.T) {
+	const passes = 3
+	mk := func() *countApp { return newCountApp(20, 16, 400, 9) }
+	cfg := cfgN(8, passes)
+	want := float64(passes * 400)
+
+	runs := map[string]func() *Result{
+		"serial": func() *Result { return RunSerial(mk(), cfgN(1, passes)) },
+		"orion-unordered": func() *Result {
+			r, err := RunOrion2D(mk(), cfg, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+		"orion-ordered": func() *Result {
+			r, err := RunOrion2D(mk(), cfg, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+		"strads": func() *Result {
+			r, err := RunSTRADS(mk(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+		"data-parallel": func() *Result { return RunDataParallel(mk(), cfg) },
+		"managed-comm":  func() *Result { return RunManagedComm(mk(), cfg) },
+		"dataflow": func() *Result {
+			c := cfg
+			c.MinibatchSize = 100
+			// Dataflow averages batch gradients; for count conservation
+			// use batch size 1 (every update applied at full weight).
+			c.MinibatchSize = 1
+			return RunDataflow(mk(), c)
+		},
+	}
+	for name, run := range runs {
+		res := run()
+		if got := res.FinalLoss(); got != want {
+			t.Errorf("%s: total count %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSubscriptStrings(t *testing.T) {
+	cases := []struct {
+		s    Subscript
+		want string
+	}{
+		{Index(0, 0), "key[1]"},
+		{Index(1, 2), "key[2]+2"},
+		{Index(0, -3), "key[1]-3"},
+		{Const(5), "5"},
+		{FullRange(), ":"},
+		{Range(1, 4), "1:4"},
+		{Runtime(), "?"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestSubscriptKindStrings(t *testing.T) {
+	if SubIndex.String() != "index" || SubConst.String() != "const" ||
+		SubRange.String() != "range" || SubRuntime.String() != "runtime" {
+		t.Fatal("kind strings wrong")
+	}
+	if !strings.Contains(SubscriptKind(99).String(), "99") {
+		t.Fatal("unknown kind should include the value")
+	}
+}
+
+func TestArrayRefString(t *testing.T) {
+	r := ArrayRef{Array: "W", Subs: []Subscript{FullRange(), Index(0, 0)}}
+	if got := r.String(); got != "W[:, key[1]] (read)" {
+		t.Fatalf("read ref = %q", got)
+	}
+	r.IsWrite = true
+	if got := r.String(); got != "W[:, key[1]] (write)" {
+		t.Fatalf("write ref = %q", got)
+	}
+	r.Buffered = true
+	if got := r.String(); got != "W[:, key[1]] (buffered-write)" {
+		t.Fatalf("buffered ref = %q", got)
+	}
+}
+
+func validLoop() *LoopSpec {
+	return &LoopSpec{
+		Name:           "l",
+		IterSpaceArray: "data",
+		Dims:           []int64{4, 5},
+		Refs: []ArrayRef{
+			{Array: "A", Subs: []Subscript{Index(0, 0)}},
+			{Array: "B", Subs: []Subscript{Index(1, 0)}, IsWrite: true},
+			{Array: "A", Subs: []Subscript{Index(0, 1)}, IsWrite: true},
+		},
+		Inherited: []string{"lr"},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validLoop().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := validLoop()
+	bad.IterSpaceArray = ""
+	if bad.Validate() == nil {
+		t.Error("missing iteration space should fail")
+	}
+	bad = validLoop()
+	bad.Dims = nil
+	if bad.Validate() == nil {
+		t.Error("zero-dim iteration space should fail")
+	}
+	bad = validLoop()
+	bad.Dims = []int64{0, 5}
+	if bad.Validate() == nil {
+		t.Error("non-positive extent should fail")
+	}
+	bad = validLoop()
+	bad.Refs[0].Array = ""
+	if bad.Validate() == nil {
+		t.Error("unnamed array should fail")
+	}
+	bad = validLoop()
+	bad.Refs[0].Subs = nil
+	if bad.Validate() == nil {
+		t.Error("empty subscripts should fail")
+	}
+	bad = validLoop()
+	bad.Refs[0].Subs = []Subscript{Index(7, 0)}
+	if bad.Validate() == nil {
+		t.Error("out-of-range loop dim should fail")
+	}
+}
+
+func TestRefsToAndArrays(t *testing.T) {
+	l := validLoop()
+	if got := l.RefsTo("A"); len(got) != 2 {
+		t.Fatalf("RefsTo(A) = %v", got)
+	}
+	if got := l.RefsTo("B"); len(got) != 1 || !got[0].IsWrite {
+		t.Fatalf("RefsTo(B) = %v", got)
+	}
+	if got := l.RefsTo("C"); got != nil {
+		t.Fatalf("RefsTo(C) = %v", got)
+	}
+	arrays := l.Arrays()
+	if len(arrays) != 2 || arrays[0] != "A" || arrays[1] != "B" {
+		t.Fatalf("Arrays = %v (want first-reference order)", arrays)
+	}
+}
+
+func TestLoopSpecString(t *testing.T) {
+	s := validLoop().String()
+	for _, want := range []string{"Loop l", "Iteration space: data [4 5]", "unordered",
+		"DistArray reads:", "DistArray writes:", "Inherited variables: lr"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	ord := validLoop()
+	ord.Ordered = true
+	if !strings.Contains(ord.String(), "ordered") {
+		t.Error("ordered flag not rendered")
+	}
+}
+
+func TestNumDims(t *testing.T) {
+	if validLoop().NumDims() != 2 {
+		t.Fatal("NumDims wrong")
+	}
+}

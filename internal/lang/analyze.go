@@ -1,0 +1,417 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+
+	"orion/internal/ir"
+)
+
+// Env gives the static analyzer the driver-program context the Julia
+// macro would see at expansion time: which identifiers are DistArrays
+// (with their extents, known because Orion JIT-compiles after the
+// iteration-space array is materialized), which are DistArray Buffers,
+// and whether the loop demands ordered execution.
+type Env struct {
+	// Arrays maps DistArray names to their extents.
+	Arrays map[string][]int64
+	// Buffers maps DistArray Buffer names to the backing array name.
+	Buffers map[string]string
+	// Ordered requests lexicographic iteration order.
+	Ordered bool
+}
+
+// builtins the interpreter provides; calls to them are not inherited
+// variables.
+var builtins = map[string]bool{
+	"dot": true, "abs2": true, "abs": true, "sqrt": true, "exp": true,
+	"log": true, "floor": true, "ceil": true, "min": true, "max": true,
+	"length": true, "sigmoid": true, "zeros": true, "rand": true, "__record": true,
+}
+
+// Analyze statically extracts the loop information record (Fig. 6) from
+// the parsed loop: iteration space, DistArray references with
+// classified subscripts, and inherited variables.
+func Analyze(loop *Loop, env *Env) (*ir.LoopSpec, error) {
+	dims, ok := env.Arrays[loop.IterVar]
+	if !ok {
+		return nil, fmt.Errorf("lang: iteration space %q is not a known DistArray", loop.IterVar)
+	}
+	a := &analyzer{loop: loop, env: env}
+	spec := &ir.LoopSpec{
+		Name:           loop.IterVar + "_loop",
+		IterSpaceArray: loop.IterVar,
+		Dims:           append([]int64(nil), dims...),
+		Ordered:        env.Ordered,
+	}
+	if err := a.stmts(loop.Body); err != nil {
+		return nil, err
+	}
+	spec.Refs = a.refs
+	spec.Inherited = a.inherited()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+type analyzer struct {
+	loop      *Loop
+	env       *Env
+	refs      []ir.ArrayRef
+	assigned  map[string]bool
+	used      map[string]bool
+	rangeVars map[string]bool
+}
+
+func (a *analyzer) stmts(body []Stmt) error {
+	for _, st := range body {
+		if err := a.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *analyzer) stmt(st Stmt) error {
+	switch s := st.(type) {
+	case *Assign:
+		if err := a.expr(s.Value); err != nil {
+			return err
+		}
+		switch t := s.Target.(type) {
+		case *Ident:
+			if a.assigned == nil {
+				a.assigned = make(map[string]bool)
+			}
+			if s.Op != "=" {
+				// Compound assignment reads the previous value.
+				a.use(t.Name)
+			}
+			a.assigned[t.Name] = true
+		case *Index:
+			// Subscript expressions are evaluated (reads).
+			for _, sub := range t.Subs {
+				if err := a.expr(sub); err != nil {
+					return err
+				}
+			}
+			if a.assigned[t.Base] {
+				// Element write into a body-local vector (e.g. p[k] = x
+				// after p = zeros(K)): not a DistArray reference.
+				return nil
+			}
+			array, buffered, known := a.resolveArray(t.Base)
+			if !known {
+				return fmt.Errorf("lang: assignment to subscripted %q, which is neither a DistArray nor a buffer", t.Base)
+			}
+			if s.Op != "=" && !buffered {
+				// Compound assignment also reads the element.
+				a.addRef(array, t, false, false)
+			}
+			a.addRef(array, t, true, buffered)
+		default:
+			return fmt.Errorf("lang: bad assignment target %s", s.Target)
+		}
+		return nil
+	case *If:
+		if err := a.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := a.stmts(s.Then); err != nil {
+			return err
+		}
+		return a.stmts(s.Else)
+	case *ForRange:
+		if err := a.expr(s.Lo); err != nil {
+			return err
+		}
+		if err := a.expr(s.Hi); err != nil {
+			return err
+		}
+		if a.assigned == nil {
+			a.assigned = make(map[string]bool)
+		}
+		if a.rangeVars == nil {
+			a.rangeVars = make(map[string]bool)
+		}
+		a.assigned[s.Var] = true
+		a.rangeVars[s.Var] = true
+		return a.stmts(s.Body)
+	case *ExprStmt:
+		return a.expr(s.X)
+	default:
+		return fmt.Errorf("lang: unknown statement %T", st)
+	}
+}
+
+func (a *analyzer) expr(e Expr) error {
+	switch x := e.(type) {
+	case *Num, *Bool:
+		return nil
+	case *Ident:
+		a.use(x.Name)
+		return nil
+	case *UnOp:
+		return a.expr(x.X)
+	case *BinOp:
+		if err := a.expr(x.L); err != nil {
+			return err
+		}
+		return a.expr(x.R)
+	case *Call:
+		if !builtins[x.Fn] {
+			return fmt.Errorf("lang: unknown function %q", x.Fn)
+		}
+		for _, arg := range x.Args {
+			if err := a.expr(arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *RangeExpr:
+		if x.Full {
+			return nil
+		}
+		if err := a.expr(x.Lo); err != nil {
+			return err
+		}
+		return a.expr(x.Hi)
+	case *Index:
+		for _, sub := range x.Subs {
+			if err := a.expr(sub); err != nil {
+				return err
+			}
+		}
+		if x.Base == a.loop.KeyVar || a.assigned[x.Base] {
+			return nil // key tuple or body-local vector access
+		}
+		array, buffered, known := a.resolveArray(x.Base)
+		if !known {
+			return fmt.Errorf("lang: subscripted %q is neither a DistArray, a buffer, nor the loop key", x.Base)
+		}
+		if buffered {
+			return fmt.Errorf("lang: DistArray Buffer %q is write-only in the loop body", x.Base)
+		}
+		a.addRef(array, x, false, false)
+		return nil
+	default:
+		return fmt.Errorf("lang: unknown expression %T", e)
+	}
+}
+
+func (a *analyzer) resolveArray(name string) (array string, buffered, known bool) {
+	if _, ok := a.env.Arrays[name]; ok {
+		return name, false, true
+	}
+	if target, ok := a.env.Buffers[name]; ok {
+		return target, true, true
+	}
+	return "", false, false
+}
+
+func (a *analyzer) use(name string) {
+	if name == a.loop.KeyVar || name == a.loop.ValVar {
+		return
+	}
+	if _, isArr := a.env.Arrays[name]; isArr {
+		return
+	}
+	if _, isBuf := a.env.Buffers[name]; isBuf {
+		return
+	}
+	if a.used == nil {
+		a.used = make(map[string]bool)
+	}
+	a.used[name] = true
+}
+
+func (a *analyzer) addRef(array string, idx *Index, isWrite, buffered bool) {
+	subs := make([]ir.Subscript, len(idx.Subs))
+	for i, sub := range idx.Subs {
+		subs[i] = a.classify(sub)
+	}
+	ref := ir.ArrayRef{Array: array, Subs: subs, IsWrite: isWrite, Buffered: buffered}
+	// Deduplicate identical static references: the same textual access
+	// appearing twice yields one static reference.
+	for _, r := range a.refs {
+		if r.String() == ref.String() {
+			return
+		}
+	}
+	a.refs = append(a.refs, ref)
+}
+
+// classify maps a subscript expression to the (dim_idx, const, stype)
+// record of Section 4.2: at most one loop index variable plus or minus
+// a constant is captured accurately; anything more complex is
+// conservatively Runtime.
+func (a *analyzer) classify(e Expr) ir.Subscript {
+	switch x := e.(type) {
+	case *RangeExpr:
+		if x.Full {
+			return ir.FullRange()
+		}
+		lo, okL := constFold(x.Lo)
+		hi, okH := constFold(x.Hi)
+		if okL && okH {
+			// The DSL uses 1-based inclusive ranges (Julia style);
+			// internal coordinates are 0-based.
+			return ir.Range(lo-1, hi-1)
+		}
+		return ir.Runtime()
+	case *Num:
+		return ir.Const(int64(x.Val) - 1)
+	case *Index:
+		if dim, ok := a.keyIndex(x); ok {
+			return ir.Index(dim, 0)
+		}
+		return ir.Runtime()
+	case *BinOp:
+		if x.Op == "+" || x.Op == "-" {
+			if ki, ok := x.L.(*Index); ok {
+				if dim, ok2 := a.keyIndex(ki); ok2 {
+					if c, ok3 := constFold(x.R); ok3 {
+						if x.Op == "-" {
+							c = -c
+						}
+						return ir.Index(dim, c)
+					}
+				}
+			}
+			if ki, ok := x.R.(*Index); ok && x.Op == "+" {
+				if dim, ok2 := a.keyIndex(ki); ok2 {
+					if c, ok3 := constFold(x.L); ok3 {
+						return ir.Index(dim, c)
+					}
+				}
+			}
+		}
+		if c, ok := constFold(e); ok {
+			return ir.Const(c - 1)
+		}
+		return ir.Runtime()
+	default:
+		if c, ok := constFold(e); ok {
+			return ir.Const(c - 1)
+		}
+		return ir.Runtime()
+	}
+}
+
+// keyIndex recognizes key[k] (1-based) and returns the 0-based loop
+// dimension.
+func (a *analyzer) keyIndex(x *Index) (int, bool) {
+	if x.Base != a.loop.KeyVar || len(x.Subs) != 1 {
+		return 0, false
+	}
+	c, ok := constFold(x.Subs[0])
+	if !ok {
+		return 0, false
+	}
+	return int(c - 1), true
+}
+
+// constFold evaluates integer constant expressions.
+func constFold(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *Num:
+		if x.Val == float64(int64(x.Val)) {
+			return int64(x.Val), true
+		}
+		return 0, false
+	case *UnOp:
+		if x.Op == "-" {
+			v, ok := constFold(x.X)
+			return -v, ok
+		}
+		return 0, false
+	case *BinOp:
+		l, okL := constFold(x.L)
+		r, okR := constFold(x.R)
+		if !okL || !okR {
+			return 0, false
+		}
+		switch x.Op {
+		case "+":
+			return l + r, true
+		case "-":
+			return l - r, true
+		case "*":
+			return l * r, true
+		default:
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+}
+
+func (a *analyzer) inherited() []string {
+	var out []string
+	for name := range a.used {
+		if a.rangeVars[name] {
+			continue // loop counters are bound, not inherited
+		}
+		if !a.assigned[name] || compoundOnly(a.loop.Body, name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// compoundOnly reports whether every assignment to name is a compound
+// assignment (accumulator pattern: the variable's initial value comes
+// from the driver).
+func compoundOnly(body []Stmt, name string) bool {
+	plain := false
+	var walk func([]Stmt)
+	walk = func(stmts []Stmt) {
+		for _, st := range stmts {
+			switch s := st.(type) {
+			case *Assign:
+				if id, ok := s.Target.(*Ident); ok && id.Name == name && s.Op == "=" {
+					plain = true
+				}
+			case *If:
+				walk(s.Then)
+				walk(s.Else)
+			case *ForRange:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(body)
+	return !plain
+}
+
+// Accumulators returns the names the loop body only ever
+// compound-assigns — the accumulator variables whose per-worker
+// instances the runtime aggregates (Section 3.4).
+func Accumulators(loop *Loop) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for _, st := range body {
+			switch s := st.(type) {
+			case *Assign:
+				if id, ok := s.Target.(*Ident); ok && s.Op != "=" && !seen[id.Name] {
+					if compoundOnly(loop.Body, id.Name) {
+						seen[id.Name] = true
+						out = append(out, id.Name)
+					}
+				}
+			case *If:
+				walk(s.Then)
+				walk(s.Else)
+			case *ForRange:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(loop.Body)
+	sort.Strings(out)
+	return out
+}

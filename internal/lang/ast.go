@@ -1,0 +1,195 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Num is a numeric literal.
+type Num struct{ Val float64 }
+
+// Ident is a variable reference.
+type Ident struct{ Name string }
+
+// BinOp is a binary operation: + - * / ^ == != < <= > >=.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// UnOp is unary negation.
+type UnOp struct {
+	Op string
+	X  Expr
+}
+
+// Call is a builtin function call.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Index is a subscripted access base[subs...]; base is an identifier
+// (a DistArray, a DistArray Buffer, or the loop key tuple).
+type Index struct {
+	Base string
+	Subs []Expr
+}
+
+// RangeExpr is lo:hi inside a subscript; Full marks a bare ':'.
+type RangeExpr struct {
+	Lo, Hi Expr
+	Full   bool
+}
+
+// Bool is a boolean literal.
+type Bool struct{ Val bool }
+
+func (*Num) exprNode()       {}
+func (*Ident) exprNode()     {}
+func (*BinOp) exprNode()     {}
+func (*UnOp) exprNode()      {}
+func (*Call) exprNode()      {}
+func (*Index) exprNode()     {}
+func (*RangeExpr) exprNode() {}
+func (*Bool) exprNode()      {}
+
+func (n *Num) String() string   { return trimFloat(n.Val) }
+func (n *Ident) String() string { return n.Name }
+func (n *BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", n.L, n.Op, n.R)
+}
+func (n *UnOp) String() string { return fmt.Sprintf("(%s%s)", n.Op, n.X) }
+func (n *Call) String() string {
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", n.Fn, strings.Join(args, ", "))
+}
+func (n *Index) String() string {
+	subs := make([]string, len(n.Subs))
+	for i, s := range n.Subs {
+		subs[i] = s.String()
+	}
+	return fmt.Sprintf("%s[%s]", n.Base, strings.Join(subs, ", "))
+}
+func (n *RangeExpr) String() string {
+	if n.Full {
+		return ":"
+	}
+	return fmt.Sprintf("%s:%s", n.Lo, n.Hi)
+}
+func (n *Bool) String() string {
+	if n.Val {
+		return "true"
+	}
+	return "false"
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	String() string
+}
+
+// Assign is target op= expr; Op is "=", "+=", "-=", "*=", or "/=".
+// Target is an *Ident (driver variable / accumulator) or an *Index
+// (DistArray write).
+type Assign struct {
+	Target Expr
+	Op     string
+	Value  Expr
+}
+
+// If is a conditional with optional else body.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// ForRange is an inner sequential loop: for v = lo:hi ... end.
+// Unlike the top-level parallel loop it iterates a scalar range; its
+// iterations execute sequentially on whichever worker runs the
+// enclosing parallel iteration.
+type ForRange struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+}
+
+// ExprStmt evaluates an expression for effect (rare; calls).
+type ExprStmt struct{ X Expr }
+
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*ForRange) stmtNode() {}
+func (*ExprStmt) stmtNode() {}
+
+func (s *Assign) String() string {
+	return fmt.Sprintf("%s %s %s", s.Target, s.Op, s.Value)
+}
+func (s *If) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "if %s\n", s.Cond)
+	for _, st := range s.Then {
+		fmt.Fprintf(&b, "  %s\n", st)
+	}
+	if len(s.Else) > 0 {
+		b.WriteString("else\n")
+		for _, st := range s.Else {
+			fmt.Fprintf(&b, "  %s\n", st)
+		}
+	}
+	b.WriteString("end")
+	return b.String()
+}
+func (s *ForRange) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "for %s = %s:%s\n", s.Var, s.Lo, s.Hi)
+	for _, st := range s.Body {
+		fmt.Fprintf(&b, "  %s\n", st)
+	}
+	b.WriteString("end")
+	return b.String()
+}
+
+func (s *ExprStmt) String() string { return s.X.String() }
+
+// Loop is the top-level parallel for-loop:
+//
+//	for (key, val) in iterArray
+//	    body...
+//	end
+type Loop struct {
+	KeyVar  string // index-tuple variable
+	ValVar  string // element-value variable ("" if omitted)
+	IterVar string // the DistArray iterated over
+	Body    []Stmt
+}
+
+func (l *Loop) String() string {
+	var b strings.Builder
+	if l.ValVar != "" {
+		fmt.Fprintf(&b, "for (%s, %s) in %s\n", l.KeyVar, l.ValVar, l.IterVar)
+	} else {
+		fmt.Fprintf(&b, "for %s in %s\n", l.KeyVar, l.IterVar)
+	}
+	for _, st := range l.Body {
+		fmt.Fprintf(&b, "  %s\n", st)
+	}
+	b.WriteString("end")
+	return b.String()
+}

@@ -1,0 +1,463 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a full parallel for-loop program (the text a programmer
+// would put under @parallel_for).
+func Parse(src string) (*Loop, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	p.skipNewlines()
+	loop, err := p.parseLoop()
+	if err != nil {
+		return nil, err
+	}
+	p.skipNewlines()
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("trailing input after loop: %s", p.peek())
+	}
+	return loop, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return fmt.Errorf("lang: line %d: %s", t.Line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipNewlines() {
+	for p.peek().Kind == TokNewline {
+		p.next()
+	}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.peek()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return p.errf("expected %q, got %s", kw, t)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, p.errf("expected %s, got %s", k, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseLoop() (*Loop, error) {
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	loop := &Loop{}
+	if p.peek().Kind == TokLParen {
+		p.next()
+		key, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		loop.KeyVar = key.Text
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		val, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		loop.ValVar = val.Text
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	} else {
+		key, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		loop.KeyVar = key.Text
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	iter, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	loop.IterVar = iter.Text
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	loop.Body = body
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return loop, nil
+}
+
+// parseBlock parses statements until an 'end' / 'else' keyword (not
+// consumed).
+func (p *parser) parseBlock() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNewlines()
+		t := p.peek()
+		if t.Kind == TokKeyword && (t.Text == "end" || t.Text == "else" || t.Text == "elseif") {
+			return out, nil
+		}
+		if t.Kind == TokEOF {
+			return nil, p.errf("unexpected EOF, missing 'end'")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.Kind == TokKeyword && t.Text == "if" {
+		return p.parseIf()
+	}
+	if t.Kind == TokKeyword && t.Text == "for" {
+		return p.parseForRange()
+	}
+	// Expression or assignment.
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek()
+	if op.Kind == TokOp && (op.Text == "=" || op.Text == "+=" || op.Text == "-=" || op.Text == "*=" || op.Text == "/=") {
+		switch lhs.(type) {
+		case *Ident, *Index:
+		default:
+			return nil, p.errf("cannot assign to %s", lhs)
+		}
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+		return &Assign{Target: lhs, Op: op.Text, Value: rhs}, nil
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: lhs}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	if err := p.expectKeyword("if"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then}
+	t := p.peek()
+	switch {
+	case t.Kind == TokKeyword && t.Text == "else":
+		p.next()
+		if _, err := p.expect(TokNewline); err != nil {
+			return nil, err
+		}
+		els, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+		if err := p.expectKeyword("end"); err != nil {
+			return nil, err
+		}
+	case t.Kind == TokKeyword && t.Text == "elseif":
+		// Desugar elseif into a nested if in the else branch; reuse
+		// parseIf by rewriting the token to 'if'.
+		p.toks[p.pos].Text = "if"
+		nested, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []Stmt{nested}
+		return node, nil
+	default:
+		if err := p.expectKeyword("end"); err != nil {
+			return nil, err
+		}
+	}
+	return node, nil
+}
+
+// parseForRange parses an inner sequential loop: for v = lo:hi ... end.
+func (p *parser) parseForRange() (Stmt, error) {
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	v, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	op := p.peek()
+	if op.Kind != TokOp || op.Text != "=" {
+		return nil, p.errf("inner for-loop needs 'for %s = lo:hi'", v.Text)
+	}
+	p.next()
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokNewline); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("end"); err != nil {
+		return nil, err
+	}
+	return &ForRange{Var: v.Text, Lo: lo, Hi: hi, Body: body}, nil
+}
+
+// Precedence climbing: comparison < additive < multiplicative < unary <
+// power < postfix(index) < primary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseComparison() }
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp {
+			return l, nil
+		}
+		switch t.Text {
+		case "==", "!=", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: t.Text, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokOp && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinOp{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnOp{Op: "-", X: x}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (Expr, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokOp && t.Text == "^" {
+		p.next()
+		r, err := p.parsePower() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &BinOp{Op: "^", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokLBracket {
+		base, ok := x.(*Ident)
+		if !ok {
+			return nil, p.errf("can only subscript identifiers, not %s", x)
+		}
+		p.next()
+		var subs []Expr
+		for {
+			sub, err := p.parseSubscript()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+			if p.peek().Kind == TokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		x = &Index{Base: base.Name, Subs: subs}
+	}
+	return x, nil
+}
+
+func (p *parser) parseSubscript() (Expr, error) {
+	if p.peek().Kind == TokColon {
+		p.next()
+		return &RangeExpr{Full: true}, nil
+	}
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokColon {
+		p.next()
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &RangeExpr{Lo: lo, Hi: hi}, nil
+	}
+	return lo, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Num{Val: v}, nil
+	case TokKeyword:
+		if t.Text == "true" || t.Text == "false" {
+			p.next()
+			return &Bool{Val: t.Text == "true"}, nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		p.next()
+		if p.peek().Kind == TokLParen {
+			p.next()
+			var args []Expr
+			if p.peek().Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.peek().Kind == TokComma {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &Call{Fn: t.Text, Args: args}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	case TokLParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	default:
+		return nil, p.errf("unexpected %s in expression", t)
+	}
+}

@@ -1,0 +1,134 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomExpr generates a random well-formed expression tree.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &Num{Val: float64(rng.Intn(100))}
+		case 1:
+			return &Ident{Name: randName(rng)}
+		default:
+			return &Index{Base: "key", Subs: []Expr{&Num{Val: float64(1 + rng.Intn(2))}}}
+		}
+	}
+	switch rng.Intn(5) {
+	case 0:
+		ops := []string{"+", "-", "*", "/", "^", "<", ">", "=="}
+		return &BinOp{Op: ops[rng.Intn(len(ops))],
+			L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 1:
+		return &UnOp{Op: "-", X: randomExpr(rng, depth-1)}
+	case 2:
+		return &Call{Fn: "abs", Args: []Expr{randomExpr(rng, depth-1)}}
+	case 3:
+		return &Index{Base: "A", Subs: []Expr{randomExpr(rng, depth-1), &RangeExpr{Full: true}}}
+	default:
+		return randomExpr(rng, 0)
+	}
+}
+
+func randName(rng *rand.Rand) string {
+	names := []string{"x", "y", "foo", "w_1", "alpha"}
+	return names[rng.Intn(len(names))]
+}
+
+func randomStmt(rng *rand.Rand, depth int) Stmt {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		ops := []string{"=", "+=", "-=", "*=", "/="}
+		return &Assign{
+			Target: &Ident{Name: randName(rng)},
+			Op:     ops[rng.Intn(len(ops))],
+			Value:  randomExpr(rng, 2),
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		st := &If{Cond: &BinOp{Op: "<", L: randomExpr(rng, 1), R: randomExpr(rng, 1)},
+			Then: []Stmt{randomStmt(rng, depth-1)}}
+		if rng.Intn(2) == 0 {
+			st.Else = []Stmt{randomStmt(rng, depth-1)}
+		}
+		return st
+	case 1:
+		return &ForRange{Var: "k", Lo: &Num{Val: 1}, Hi: &Num{Val: float64(2 + rng.Intn(5))},
+			Body: []Stmt{randomStmt(rng, depth-1)}}
+	default:
+		return &Assign{
+			Target: &Index{Base: "A", Subs: []Expr{randomExpr(rng, 1), randomExpr(rng, 1)}},
+			Op:     "=",
+			Value:  randomExpr(rng, 2),
+		}
+	}
+}
+
+// TestPrintParseRoundTripProperty: for random ASTs, String() must parse
+// back to an identical AST (by String equality) — the property the
+// DefineLoop wire protocol relies on.
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		loop := &Loop{KeyVar: "key", ValVar: "v", IterVar: "data"}
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			loop.Body = append(loop.Body, randomStmt(rng, 2))
+		}
+		src := loop.String()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: printed program does not parse: %v\n%s", trial, err, src)
+		}
+		if parsed.String() != src {
+			t.Fatalf("trial %d: round trip not stable:\n%s\nvs\n%s", trial, src, parsed.String())
+		}
+	}
+}
+
+// TestLexerNeverPanics: arbitrary byte soup must produce a token list
+// or an error, never a panic or a hang.
+func TestLexerNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	alphabet := []byte("abz019 _+-*/^=<>!()[]:,.#\nfor in end if else\t\"@$%&")
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("lexer panic on %q: %v", buf, r)
+				}
+			}()
+			Lex(string(buf))
+		}()
+	}
+}
+
+// TestParserNeverPanics: random token soup through the parser.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	words := []string{"for", "in", "end", "if", "else", "x", "key", "1", "2.5",
+		"+", "-", "*", "=", "+=", "(", ")", "[", "]", ",", ":", "\n", "dot"}
+	for trial := 0; trial < 500; trial++ {
+		var src string
+		n := rng.Intn(30)
+		for i := 0; i < n; i++ {
+			src += words[rng.Intn(len(words))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panic on %q: %v", src, r)
+				}
+			}()
+			Parse(src)
+		}()
+	}
+}

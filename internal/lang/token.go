@@ -1,0 +1,200 @@
+// Package lang implements Orion's front-end as a small imperative DSL
+// with Julia-flavored syntax. The paper's implementation analyzes Julia
+// ASTs inside the @parallel_for macro; Go has no macro system, so this
+// package provides the equivalent pipeline explicitly:
+//
+//	source text → lexer → parser → AST
+//	            → static analysis  → ir.LoopSpec  (Fig. 6 "loop information")
+//	            → interpreter      → executes the loop body on DistArrays
+//	            → program slicing  → synthesized prefetch function (§4.4)
+//
+// The supported subset covers the paper's applications: a for-loop over
+// a DistArray's (key, value) pairs; scalar and vector arithmetic;
+// DistArray point, range and full-dimension subscripts; if/else; calls
+// to a fixed set of math builtins; assignments to driver variables
+// (accumulators).
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIdent
+	TokNumber
+	TokKeyword  // for, in, end, if, else, true, false
+	TokOp       // + - * / ^ == != <= >= < > = += -= *= /=
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokComma
+	TokColon
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokNewline:
+		return "newline"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokKeyword:
+		return "keyword"
+	case TokOp:
+		return "operator"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokComma:
+		return "','"
+	case TokColon:
+		return "':'"
+	default:
+		return fmt.Sprintf("TokKind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text == "" {
+		return t.Kind.String()
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+var keywords = map[string]bool{
+	"for": true, "in": true, "end": true,
+	"if": true, "else": true, "elseif": true,
+	"true": true, "false": true,
+}
+
+// Lex tokenizes source text. Comments run from '#' to end of line.
+// Newlines are significant (statement terminators).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	emit := func(k TokKind, text string) {
+		toks = append(toks, Token{Kind: k, Text: text, Line: line, Col: col})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			// Collapse consecutive newlines.
+			if len(toks) > 0 && toks[len(toks)-1].Kind != TokNewline {
+				emit(TokNewline, "")
+			}
+			line++
+			col = 1
+			i++
+			continue
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+			continue
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		case c == '(':
+			emit(TokLParen, "(")
+			i++
+		case c == ')':
+			emit(TokRParen, ")")
+			i++
+		case c == '[':
+			emit(TokLBracket, "[")
+			i++
+		case c == ']':
+			emit(TokRBracket, "]")
+			i++
+		case c == ',':
+			emit(TokComma, ",")
+			i++
+		case c == ':':
+			emit(TokColon, ":")
+			i++
+		case strings.ContainsRune("+-*/^=!<>", rune(c)):
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("lang: line %d: unexpected '!'", line)
+			}
+			emit(TokOp, op)
+			i++
+		case c >= '0' && c <= '9' || c == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9':
+			start := i
+			seenDot := false
+			seenExp := false
+			for i < len(src) {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					// Don't consume the start of a range like 1:3 —
+					// '.' only continues a number.
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i+1 < len(src) &&
+					(src[i+1] >= '0' && src[i+1] <= '9' || src[i+1] == '-' || src[i+1] == '+') {
+					seenExp = true
+					i += 2
+					continue
+				}
+				break
+			}
+			emit(TokNumber, src[start:i])
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+			}
+			word := src[start:i]
+			if keywords[word] {
+				emit(TokKeyword, word)
+			} else {
+				emit(TokIdent, word)
+			}
+		default:
+			return nil, fmt.Errorf("lang: line %d col %d: unexpected character %q", line, col, string(c))
+		}
+		col += len(toks[len(toks)-1].Text)
+	}
+	if len(toks) > 0 && toks[len(toks)-1].Kind != TokNewline {
+		toks = append(toks, Token{Kind: TokNewline, Line: line, Col: col})
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}

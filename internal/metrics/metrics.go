@@ -1,0 +1,138 @@
+// Package metrics provides the reporting utilities the benchmark
+// harness uses to render paper-style tables and series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a figure: Y over X.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatSeries renders series as aligned columns: x then one column per
+// series (missing points rendered as "-"). Series may have different x
+// grids; the union grid is used.
+func FormatSeries(xLabel string, series []Series) string {
+	grid := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			grid[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(grid))
+	for x := range grid {
+		xs = append(xs, x)
+	}
+	sortFloat64s(xs)
+
+	headers := append([]string{xLabel}, names(series)...)
+	var rows [][]string
+	for _, x := range xs {
+		row := []string{trim(x)}
+		for _, s := range series {
+			v, ok := lookup(s, x)
+			if !ok {
+				row = append(row, "-")
+			} else {
+				row = append(row, trim(v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return Table(headers, rows)
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func sortFloat64s(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func trim(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.5g", v)
+}
+
+// Downsample keeps at most n evenly spaced points of a series.
+func Downsample(s Series, n int) Series {
+	if len(s.X) <= n || n <= 0 {
+		return s
+	}
+	out := Series{Name: s.Name}
+	for i := 0; i < n; i++ {
+		j := i * (len(s.X) - 1) / (n - 1)
+		out.X = append(out.X, s.X[j])
+		out.Y = append(out.Y, s.Y[j])
+	}
+	return out
+}
+
+// Speedup formats a ratio like the paper's Table 3 ("2.2X").
+func Speedup(base, improved float64) string {
+	if improved == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.1fX", base/improved)
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "bbbb"}, [][]string{{"xxxxx", "y"}, {"z", "w"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Separator row matches header widths.
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+	// All rows equal length (alignment).
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("misaligned header/separator: %q vs %q", lines[0], lines[1])
+	}
+}
+
+func TestFormatSeriesUnionGrid(t *testing.T) {
+	s1 := Series{Name: "a", X: []float64{1, 2}, Y: []float64{10, 20}}
+	s2 := Series{Name: "b", X: []float64{2, 3}, Y: []float64{200, 300}}
+	out := FormatSeries("x", []Series{s1, s2})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("missing series names:\n%s", out)
+	}
+	// x=1 has a value for a, '-' for b; x=3 the reverse.
+	lines := strings.Split(out, "\n")
+	var line1, line3 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "1 ") {
+			line1 = l
+		}
+		if strings.HasPrefix(l, "3 ") {
+			line3 = l
+		}
+	}
+	if !strings.Contains(line1, "10") || !strings.Contains(line1, "-") {
+		t.Fatalf("x=1 row wrong: %q", line1)
+	}
+	if !strings.Contains(line3, "300") || !strings.Contains(line3, "-") {
+		t.Fatalf("x=3 row wrong: %q", line3)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := Series{Name: "s"}
+	for i := 0; i < 100; i++ {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, float64(i*i))
+	}
+	d := Downsample(s, 5)
+	if len(d.X) != 5 {
+		t.Fatalf("len = %d", len(d.X))
+	}
+	if d.X[0] != 0 || d.X[4] != 99 {
+		t.Fatalf("endpoints not preserved: %v", d.X)
+	}
+	// No-op when already small.
+	small := Series{X: []float64{1}, Y: []float64{1}}
+	if got := Downsample(small, 5); len(got.X) != 1 {
+		t.Fatal("small series should pass through")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(2.2, 1.0); got != "2.2X" {
+		t.Fatalf("Speedup = %q", got)
+	}
+	if got := Speedup(1, 0); got != "inf" {
+		t.Fatalf("Speedup by zero = %q", got)
+	}
+}
+
+func TestTrim(t *testing.T) {
+	if trim(5) != "5" {
+		t.Fatalf("trim(5) = %q", trim(5))
+	}
+	if trim(1.23456789) != "1.2346" {
+		t.Fatalf("trim = %q", trim(1.23456789))
+	}
+}

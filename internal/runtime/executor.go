@@ -1,0 +1,527 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"sort"
+
+	"orion/internal/dsm"
+)
+
+// Executor is one Orion worker process: it holds DistArray partitions,
+// executes kernel blocks on command from the master, rotates
+// time-partitioned arrays around the executor ring, and proxies
+// parameter-server traffic.
+type Executor struct {
+	id       int
+	t        Transport
+	master   *codec
+	peerAddr string
+	peerLn   net.Listener
+
+	parts   map[string]*dsm.Partition
+	rotated map[string]bool
+	samples []IterSample
+	// localKernels holds kernels compiled from DefineLoop messages,
+	// checked before the static registry.
+	localKernels  map[string]Kernel
+	localPrefetch map[string]map[string]PrefetchFunc
+	sendTo        *codec // ring neighbor we ship rotated partitions to
+	rotateCh      chan *Msg
+
+	ctx    *Ctx
+	misses int64
+	shards *shardSet
+
+	done chan error
+}
+
+// NewExecutor connects an executor to the master. peerAddr is this
+// executor's ring endpoint; it must be unique per executor.
+func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, error) {
+	e := &Executor{
+		id:            id,
+		t:             t,
+		shards:        newShardSet(t, id),
+		peerAddr:      peerAddr,
+		parts:         map[string]*dsm.Partition{},
+		rotated:       map[string]bool{},
+		localKernels:  map[string]Kernel{},
+		localPrefetch: map[string]map[string]PrefetchFunc{},
+		rotateCh:      make(chan *Msg, 16),
+		done:          make(chan error, 1),
+	}
+	e.ctx = &Ctx{
+		exec:        e,
+		servedCache: map[string]map[int64]float64{},
+		servedDirty: map[string]*servedBuffer{},
+		accums:      map[string]float64{},
+	}
+	ln, err := t.Listen(peerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: executor %d peer listen: %w", id, err)
+	}
+	e.peerLn = ln
+	conn, err := t.Dial(masterAddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("runtime: executor %d dial master: %w", id, err)
+	}
+	e.master = newCodec(conn)
+	if err := e.master.send(&Msg{Kind: MsgHello, ExecutorID: id, PeerAddr: peerAddr}); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Start runs the executor's message loop in a goroutine. The returned
+// channel yields the loop's exit error (nil on clean shutdown).
+func (e *Executor) Start() <-chan error {
+	go func() { e.done <- e.run() }()
+	return e.done
+}
+
+func (e *Executor) run() error {
+	defer e.peerLn.Close()
+	defer e.master.close()
+	// Receive topology first.
+	setup, err := e.master.recv()
+	if err != nil {
+		return err
+	}
+	if setup.Kind != MsgSetup {
+		return fmt.Errorf("runtime: executor %d: expected setup, got %v", e.id, setup.Kind)
+	}
+	n := setup.NumExecs
+	e.shards.peers = setup.Peers
+	defer e.shards.closeAll()
+	// Accept peer connections in the background: ring rotation plus
+	// parameter-server shard RPCs.
+	go e.acceptPeers()
+	if n > 1 {
+		// Ship rotated partitions to the ring predecessor: at step t,
+		// executor j runs time partition (j+t) mod n, which executor
+		// j+1 held at step t-1 — partitions flow from j to j-1.
+		target := setup.Peers[(e.id+n-1)%n]
+		conn, err := e.t.Dial(target)
+		if err != nil {
+			return fmt.Errorf("runtime: executor %d dial ring: %w", e.id, err)
+		}
+		e.sendTo = newCodec(conn)
+		defer e.sendTo.close()
+	}
+
+	for {
+		msg, err := e.master.recv()
+		if err != nil {
+			return err
+		}
+		switch msg.Kind {
+		case MsgArrayPart:
+			p, err := dsm.DecodePartition(msg.PartBlob)
+			if err != nil {
+				return err
+			}
+			e.parts[msg.Array] = p
+			e.rotated[msg.Array] = msg.Rotated
+		case MsgIterPart:
+			e.samples = msg.Samples
+		case MsgServedShard:
+			p, err := dsm.DecodePartition(msg.PartBlob)
+			if err != nil {
+				return err
+			}
+			e.shards.install(msg.Array, msg.ArrayDims[msg.Array], msg.Offsets, p)
+			if err := e.master.send(&Msg{Kind: MsgAck}); err != nil {
+				return err
+			}
+		case MsgDefineLoop:
+			c := lookupCompiler()
+			if c == nil {
+				e.master.send(&Msg{Kind: MsgError, Err: "no loop compiler installed on this executor"})
+				return fmt.Errorf("runtime: executor %d: no loop compiler", e.id)
+			}
+			k, pf, err := c(msg)
+			if err != nil {
+				e.master.send(&Msg{Kind: MsgError, Err: err.Error()})
+				return err
+			}
+			e.localKernels[msg.LoopName] = k
+			e.localPrefetch[msg.LoopName] = pf
+		case MsgExecBlock:
+			if err := e.execBlock(msg, n); err != nil {
+				e.master.send(&Msg{Kind: MsgError, Err: err.Error()})
+				return err
+			}
+		case MsgGather:
+			p := e.parts[msg.Array]
+			if p == nil {
+				if t := e.shards.table(msg.Array); t != nil {
+					p = t.local
+				}
+			}
+			if p == nil {
+				return fmt.Errorf("runtime: executor %d: gather of unknown array %q", e.id, msg.Array)
+			}
+			blob, err := p.Encode()
+			if err != nil {
+				return err
+			}
+			if err := e.master.send(&Msg{Kind: MsgGatherResp, ExecutorID: e.id, Array: msg.Array, PartBlob: blob}); err != nil {
+				return err
+			}
+		case MsgAccumQuery:
+			v := e.ctx.accums[msg.AccName]
+			if err := e.master.send(&Msg{Kind: MsgAccumResp, ExecutorID: e.id, AccName: msg.AccName, AccValue: v}); err != nil {
+				return err
+			}
+		case MsgShutdown:
+			return nil
+		default:
+			return fmt.Errorf("runtime: executor %d: unexpected message %v", e.id, msg.Kind)
+		}
+	}
+}
+
+func (e *Executor) acceptPeers() {
+	for {
+		conn, err := e.peerLn.Accept()
+		if err != nil {
+			return
+		}
+		go e.servePeer(newCodec(conn))
+	}
+}
+
+// servePeer handles one incoming peer connection: rotation payloads are
+// queued for the main loop; parameter-server shard RPCs are answered
+// directly from this goroutine, so an executor serves reads and updates
+// even while its own main loop is mid-block.
+func (e *Executor) servePeer(c *codec) {
+	for {
+		m, err := c.recv()
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case MsgRotate:
+			e.rotateCh <- m
+		case MsgPrefetch:
+			vals, err := e.shards.serveRead(m.Array, m.Offsets)
+			if err != nil {
+				c.send(&Msg{Kind: MsgError, Err: err.Error()})
+				continue
+			}
+			c.send(&Msg{Kind: MsgPrefetchResp, Array: m.Array, Offsets: m.Offsets, Values: vals})
+		case MsgUpdateBatch:
+			if err := e.shards.serveUpdate(m.Array, m.Offsets, m.Values, m.Absolute); err != nil {
+				c.send(&Msg{Kind: MsgError, Err: err.Error()})
+				continue
+			}
+			c.send(&Msg{Kind: MsgAck})
+		}
+	}
+}
+
+func (e *Executor) partition(array string) *dsm.Partition { return e.parts[array] }
+
+// execBlock runs the kernel over this executor's samples whose time
+// coordinate falls inside the block, then rotates.
+func (e *Executor) execBlock(msg *Msg, n int) error {
+	kernel := e.localKernels[msg.LoopName]
+	if kernel == nil {
+		var err error
+		kernel, err = lookupKernel(msg.LoopName)
+		if err != nil {
+			return err
+		}
+	}
+	var block []IterSample
+	for _, s := range e.samples {
+		if msg.TimeDim < 0 {
+			block = append(block, s)
+			continue
+		}
+		c := s.Key[msg.TimeDim]
+		if c >= msg.TimeLo && c < msg.TimeHi {
+			block = append(block, s)
+		}
+	}
+	if msg.Ordered {
+		// Ordered loops execute in lexicographic iteration order.
+		sort.Slice(block, func(a, b int) bool {
+			ka, kb := block[a].Key, block[b].Key
+			for i := range ka {
+				if ka[i] != kb[i] {
+					return ka[i] < kb[i]
+				}
+			}
+			return false
+		})
+	}
+
+	// Bulk prefetch: evaluate the synthesized prefetch functions over
+	// the block and fetch the union of needed offsets per served array.
+	e.ctx.servedCache = map[string]map[int64]float64{}
+	pf := e.localPrefetch[msg.LoopName]
+	if pf == nil {
+		pf = lookupPrefetch(msg.LoopName)
+	}
+	if pf != nil {
+		arrays := make([]string, 0, len(pf))
+		for a := range pf {
+			arrays = append(arrays, a)
+		}
+		sort.Strings(arrays)
+		for _, array := range arrays {
+			fn := pf[array]
+			seen := map[int64]bool{}
+			var offs []int64
+			for _, s := range block {
+				for _, off := range fn(s.Key, s.Val) {
+					if !seen[off] {
+						seen[off] = true
+						offs = append(offs, off)
+					}
+				}
+			}
+			if len(offs) == 0 {
+				continue
+			}
+			if err := e.bulkFetch(array, offs); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := e.runKernel(kernel, block); err != nil {
+		return err
+	}
+
+	// Ship buffered parameter-server writes to their shard owners (or
+	// the master for unsharded arrays): absolute writes first, then
+	// additive deltas.
+	drained := e.ctx.drainServed()
+	arrays := make([]string, 0, len(drained))
+	for a := range drained {
+		arrays = append(arrays, a)
+	}
+	sort.Strings(arrays)
+	for _, array := range arrays {
+		buf := drained[array]
+		if len(buf.setOffs) > 0 {
+			vals := make([]float64, len(buf.setOffs))
+			for i, off := range buf.setOffs {
+				vals[i] = buf.sets[off]
+			}
+			if err := e.flushServed(array, buf.setOffs, vals, true); err != nil {
+				return err
+			}
+		}
+		if len(buf.offs) > 0 {
+			vals := make([]float64, len(buf.offs))
+			for i, off := range buf.offs {
+				vals[i] = buf.vals[off]
+			}
+			if err := e.flushServed(array, buf.offs, vals, false); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Rotate time-partitioned arrays around the ring.
+	if msg.Rotated && n > 1 {
+		names := make([]string, 0, len(e.parts))
+		for a := range e.parts {
+			if e.rotated[a] {
+				names = append(names, a)
+			}
+		}
+		sort.Strings(names)
+		for _, a := range names {
+			blob, err := e.parts[a].Encode()
+			if err != nil {
+				return err
+			}
+			if err := e.sendTo.send(&Msg{Kind: MsgRotate, Array: a, PartBlob: blob}); err != nil {
+				return err
+			}
+		}
+		for range names {
+			in := <-e.rotateCh
+			p, err := dsm.DecodePartition(in.PartBlob)
+			if err != nil {
+				return err
+			}
+			e.parts[in.Array] = p
+		}
+	}
+
+	misses := e.misses
+	e.misses = 0
+	return e.master.send(&Msg{Kind: MsgBlockDone, ExecutorID: e.id, AccValue: float64(misses)})
+}
+
+// runKernel executes the kernel over a block, converting panics (e.g. a
+// shipped loop body failing at runtime) into errors the master can
+// surface instead of hanging the barrier.
+func (e *Executor) runKernel(kernel Kernel, block []IterSample) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runtime: executor %d: kernel panicked: %v", e.id, r)
+		}
+	}()
+	for _, s := range block {
+		kernel(e.ctx, s.Key, s.Val)
+	}
+	return nil
+}
+
+// bulkFetch reads offsets of a served array, grouped by shard owner
+// (local shard short-circuits; unsharded arrays fall back to the
+// master), and fills the block cache.
+func (e *Executor) bulkFetch(array string, offs []int64) error {
+	t := e.shards.table(array)
+	if t == nil {
+		// Master-served array.
+		if err := e.master.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: offs}); err != nil {
+			return err
+		}
+		resp, err := e.master.recv()
+		if err != nil {
+			return err
+		}
+		if resp.Kind != MsgPrefetchResp {
+			return fmt.Errorf("runtime: executor %d: expected prefetch response, got %v", e.id, resp.Kind)
+		}
+		e.ctx.cacheServed(array, resp.Offsets, resp.Values)
+		return nil
+	}
+	byOwner := map[int][]int64{}
+	for _, off := range offs {
+		o := t.ownerOf(off)
+		byOwner[o] = append(byOwner[o], off)
+	}
+	owners := make([]int, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, o := range owners {
+		chunk := byOwner[o]
+		if o == e.id {
+			vals, err := e.shards.serveRead(array, chunk)
+			if err != nil {
+				return err
+			}
+			e.ctx.cacheServed(array, chunk, vals)
+			continue
+		}
+		c, err := e.shards.client(o)
+		if err != nil {
+			return err
+		}
+		if err := c.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: chunk}); err != nil {
+			return err
+		}
+		resp, err := c.recv()
+		if err != nil {
+			return err
+		}
+		if resp.Kind != MsgPrefetchResp {
+			return fmt.Errorf("runtime: executor %d: shard owner %d: %s", e.id, o, resp.Err)
+		}
+		e.ctx.cacheServed(array, resp.Offsets, resp.Values)
+	}
+	return nil
+}
+
+// flushServed ships buffered updates to their shard owners, awaiting
+// acknowledgments so the master barrier implies update visibility.
+func (e *Executor) flushServed(array string, offs []int64, vals []float64, absolute bool) error {
+	t := e.shards.table(array)
+	if t == nil {
+		return e.master.send(&Msg{Kind: MsgUpdateBatch, Array: array, Offsets: offs, Values: vals, Absolute: absolute})
+	}
+	byOwner := map[int][]int{}
+	for i, off := range offs {
+		o := t.ownerOf(off)
+		byOwner[o] = append(byOwner[o], i)
+	}
+	owners := make([]int, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
+	for _, o := range owners {
+		idxs := byOwner[o]
+		co := make([]int64, len(idxs))
+		cv := make([]float64, len(idxs))
+		for i, j := range idxs {
+			co[i], cv[i] = offs[j], vals[j]
+		}
+		if o == e.id {
+			if err := e.shards.serveUpdate(array, co, cv, absolute); err != nil {
+				return err
+			}
+			continue
+		}
+		c, err := e.shards.client(o)
+		if err != nil {
+			return err
+		}
+		if err := c.send(&Msg{Kind: MsgUpdateBatch, Array: array, Offsets: co, Values: cv, Absolute: absolute}); err != nil {
+			return err
+		}
+		ack, err := c.recv()
+		if err != nil {
+			return err
+		}
+		if ack.Kind != MsgAck {
+			return fmt.Errorf("runtime: executor %d: shard owner %d rejected update: %s", e.id, o, ack.Err)
+		}
+	}
+	return nil
+}
+
+// fetchOne synchronously reads one served-array element (the
+// prefetch-miss slow path).
+func (e *Executor) fetchOne(array string, off int64) (float64, error) {
+	t := e.shards.table(array)
+	if t != nil {
+		if o := t.ownerOf(off); o == e.id {
+			vals, err := e.shards.serveRead(array, []int64{off})
+			if err != nil {
+				return 0, err
+			}
+			return vals[0], nil
+		}
+		o := t.ownerOf(off)
+		c, err := e.shards.client(o)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: []int64{off}}); err != nil {
+			return 0, err
+		}
+		resp, err := c.recv()
+		if err != nil {
+			return 0, err
+		}
+		if resp.Kind != MsgPrefetchResp || len(resp.Values) != 1 {
+			return 0, fmt.Errorf("runtime: bad single-fetch response from shard owner")
+		}
+		return resp.Values[0], nil
+	}
+	if err := e.master.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: []int64{off}}); err != nil {
+		return 0, err
+	}
+	resp, err := e.master.recv()
+	if err != nil {
+		return 0, err
+	}
+	if resp.Kind != MsgPrefetchResp || len(resp.Values) != 1 {
+		return 0, fmt.Errorf("runtime: bad single-fetch response")
+	}
+	return resp.Values[0], nil
+}

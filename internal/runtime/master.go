@@ -1,0 +1,433 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"orion/internal/dsm"
+	"orion/internal/sched"
+)
+
+// Master is the Orion coordinator (Fig. 3): the driver program talks to
+// it to distribute DistArrays, launch parallel for-loops, gather
+// results, and aggregate accumulators.
+type Master struct {
+	t    Transport
+	addr string
+	n    int
+
+	conns []*codec // by executor id
+	ln    net.Listener
+
+	mu     sync.Mutex
+	served map[string]*dsm.DistArray
+
+	blockDone  chan *Msg
+	gatherResp chan *Msg
+	accumResp  chan *Msg
+	ackCh      chan *Msg
+	execErr    chan error
+
+	// bookkeeping for gather and the prefetch-miss counter.
+	arrayDims  map[string][]int64
+	arrayDense map[string]bool
+	missCount  int64
+}
+
+// Listen creates a master accepting executor registrations at addr.
+// Call Addr to learn the bound address (useful with ":0" TCP ports) and
+// WaitForExecutors to complete the bring-up.
+func Listen(t Transport, addr string, n int) (*Master, error) {
+	m := &Master{
+		t: t, addr: addr, n: n,
+		conns:      make([]*codec, n),
+		served:     map[string]*dsm.DistArray{},
+		blockDone:  make(chan *Msg, n),
+		gatherResp: make(chan *Msg, n),
+		accumResp:  make(chan *Msg, n),
+		ackCh:      make(chan *Msg, n),
+		execErr:    make(chan error, n),
+		arrayDims:  map[string][]int64{},
+		arrayDense: map[string]bool{},
+	}
+	ln, err := t.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	m.ln = ln
+	return m, nil
+}
+
+// Addr returns the master's bound listen address.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// NewMaster creates a master at addr and blocks until all n executors
+// have registered (convenience for fixed addresses).
+func NewMaster(t Transport, addr string, n int) (*Master, error) {
+	m, err := Listen(t, addr, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.WaitForExecutors(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WaitForExecutors accepts all n executor registrations, distributes
+// the ring topology, and starts the connection handlers.
+func (m *Master) WaitForExecutors() error {
+	n := m.n
+	defer m.ln.Close()
+	peers := make([]string, n)
+	for i := 0; i < n; i++ {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return err
+		}
+		c := newCodec(conn)
+		hello, err := c.recv()
+		if err != nil {
+			return err
+		}
+		if hello.Kind != MsgHello {
+			return fmt.Errorf("runtime: master: expected hello, got %v", hello.Kind)
+		}
+		if hello.ExecutorID < 0 || hello.ExecutorID >= n || m.conns[hello.ExecutorID] != nil {
+			return fmt.Errorf("runtime: master: bad executor id %d", hello.ExecutorID)
+		}
+		m.conns[hello.ExecutorID] = c
+		peers[hello.ExecutorID] = hello.PeerAddr
+	}
+	for id, c := range m.conns {
+		if err := c.send(&Msg{Kind: MsgSetup, ExecutorID: id, Peers: peers, NumExecs: n}); err != nil {
+			return err
+		}
+		go m.handleConn(id, c)
+	}
+	return nil
+}
+
+// handleConn processes executor-initiated messages.
+func (m *Master) handleConn(id int, c *codec) {
+	for {
+		msg, err := c.recv()
+		if err != nil {
+			return // connection closed (shutdown)
+		}
+		switch msg.Kind {
+		case MsgBlockDone:
+			m.blockDone <- msg
+		case MsgGatherResp:
+			m.gatherResp <- msg
+		case MsgAccumResp:
+			m.accumResp <- msg
+		case MsgAck:
+			m.ackCh <- msg
+		case MsgPrefetch:
+			m.mu.Lock()
+			arr := m.served[msg.Array]
+			var vals []float64
+			if arr != nil {
+				vals = make([]float64, len(msg.Offsets))
+				for i, off := range msg.Offsets {
+					vals[i] = arr.At(arr.Unflatten(off)...)
+				}
+			}
+			m.mu.Unlock()
+			if arr == nil {
+				c.send(&Msg{Kind: MsgError, Err: fmt.Sprintf("unknown served array %q", msg.Array)})
+				continue
+			}
+			c.send(&Msg{Kind: MsgPrefetchResp, Array: msg.Array, Offsets: msg.Offsets, Values: vals})
+		case MsgUpdateBatch:
+			m.mu.Lock()
+			if arr := m.served[msg.Array]; arr != nil {
+				for i, off := range msg.Offsets {
+					if msg.Absolute {
+						arr.SetAt(msg.Values[i], arr.Unflatten(off)...)
+					} else {
+						arr.AddAt(msg.Values[i], arr.Unflatten(off)...)
+					}
+				}
+			}
+			m.mu.Unlock()
+		case MsgError:
+			m.execErr <- fmt.Errorf("runtime: executor %d: %s", id, msg.Err)
+		}
+	}
+}
+
+// broadcastParts sends one partition per executor.
+func (m *Master) broadcastParts(array string, parts []*dsm.Partition, rotated bool) error {
+	if len(parts) != m.n {
+		return fmt.Errorf("runtime: %d partitions for %d executors", len(parts), m.n)
+	}
+	for id, p := range parts {
+		blob, err := p.Encode()
+		if err != nil {
+			return err
+		}
+		if err := m.conns[id].send(&Msg{Kind: MsgArrayPart, Array: array, PartBlob: blob, Rotated: rotated}); err != nil {
+			return err
+		}
+	}
+	// No ack round-trip: the connection is ordered, so any later
+	// ExecBlock is processed only after the partition is installed.
+	return nil
+}
+
+// DistributeLocal range-partitions a DistArray along dim with the given
+// boundaries and places partition i on executor i (space-local arrays).
+func (m *Master) DistributeLocal(a *dsm.DistArray, dim int, boundaries []int64) error {
+	m.recordArray(a)
+	return m.broadcastParts(a.Name(), a.RangePartitions(dim, m.n, boundaries), false)
+}
+
+// DistributeRotated places time partition i on executor i; partitions
+// rotate between executors during loop execution.
+func (m *Master) DistributeRotated(a *dsm.DistArray, dim int, boundaries []int64) error {
+	m.recordArray(a)
+	return m.broadcastParts(a.Name(), a.RangePartitions(dim, m.n, boundaries), true)
+}
+
+// Serve keeps a DistArray on the master as a parameter-server array
+// accessed via prefetch/update batches.
+func (m *Master) Serve(a *dsm.DistArray) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.served[a.Name()] = a
+}
+
+// DistributeIterSpace partitions iteration samples by the space
+// coordinate (key[spaceDim]) using the given partitioner and ships each
+// block to its executor.
+func (m *Master) DistributeIterSpace(samples []IterSample, spaceDim int, part *sched.Partitioner) error {
+	blocks := make([][]IterSample, m.n)
+	for _, s := range samples {
+		w := part.PartOf(s.Key[spaceDim])
+		blocks[w] = append(blocks[w], s)
+	}
+	for id, c := range m.conns {
+		if err := c.send(&Msg{Kind: MsgIterPart, Samples: blocks[id]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Master) recordArray(a *dsm.DistArray) {
+	m.arrayDims[a.Name()] = a.Dims()
+	m.arrayDense[a.Name()] = a.IsDense()
+}
+
+// LoopDef describes one distributed parallel for-loop execution.
+type LoopDef struct {
+	// Kernel is the registered kernel name.
+	Kernel string
+	// TimeDim is the iteration-space dimension partitioned in time
+	// (-1 for 1D loops: each executor runs its whole local block once).
+	TimeDim int
+	// TimePart cuts the time dimension (must have n parts), nil for 1D.
+	TimePart *sched.Partitioner
+	// Rotate ships rotated arrays around the ring between steps.
+	Rotate bool
+	// Ordered selects the wavefront schedule (Fig. 7e): lexicographic
+	// iteration order is preserved; time-dimension arrays must be
+	// served (sharded) rather than rotated.
+	Ordered bool
+	// Passes is the number of full data passes.
+	Passes int
+}
+
+// ParallelFor executes the loop: per pass, n global steps of the
+// unordered rotation schedule (Fig. 7f); executor j runs time partition
+// (j + step) mod n at each step.
+func (m *Master) ParallelFor(def LoopDef) error {
+	passes := def.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	for pass := 0; pass < passes; pass++ {
+		steps := m.n
+		if def.TimeDim < 0 {
+			steps = 1
+		} else if def.Ordered {
+			steps = 2*m.n - 1 // wavefront ramp-up and drain
+		}
+		for step := 0; step < steps; step++ {
+			for j := 0; j < m.n; j++ {
+				msg := &Msg{
+					Kind:      MsgExecBlock,
+					LoopName:  def.Kernel,
+					TimeDim:   def.TimeDim,
+					Rotated:   def.Rotate,
+					Ordered:   def.Ordered,
+					Pass:      pass,
+					StepIndex: step,
+				}
+				switch {
+				case def.TimeDim < 0:
+					msg.TimeLo, msg.TimeHi = 0, 0
+				case def.Ordered:
+					tp := step - j
+					if tp >= 0 && tp < m.n {
+						lo, hi := def.TimePart.Bounds(tp)
+						msg.TimeLo, msg.TimeHi = lo, hi
+					} else {
+						msg.TimeLo, msg.TimeHi = 0, 0 // idle ramp step
+					}
+				default:
+					tp := (j + step) % m.n
+					lo, hi := def.TimePart.Bounds(tp)
+					msg.TimeLo, msg.TimeHi = lo, hi
+				}
+				if err := m.conns[j].send(msg); err != nil {
+					return err
+				}
+			}
+			for done := 0; done < m.n; {
+				select {
+				case msg := <-m.blockDone:
+					m.mu.Lock()
+					m.missCount += int64(msg.AccValue)
+					m.mu.Unlock()
+					done++
+				case err := <-m.execErr:
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Misses returns the cumulative number of prefetch-miss slow-path
+// fetches executors reported — zero when bulk prefetching covers every
+// read (exposed for tests and the Section 6.3 prefetch experiment).
+func (m *Master) Misses() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.missCount
+}
+
+// Gather collects an array's partitions from all executors and merges
+// them into a fresh DistArray.
+func (m *Master) Gather(array string) (*dsm.DistArray, error) {
+	dims, ok := m.arrayDims[array]
+	if !ok {
+		return nil, fmt.Errorf("runtime: gather of unknown array %q", array)
+	}
+	for _, c := range m.conns {
+		if err := c.send(&Msg{Kind: MsgGather, Array: array}); err != nil {
+			return nil, err
+		}
+	}
+	var out *dsm.DistArray
+	if m.arrayDense[array] {
+		out = dsm.NewDense(array, dims...)
+	} else {
+		out = dsm.NewSparse(array, dims...)
+	}
+	for i := 0; i < m.n; i++ {
+		select {
+		case msg := <-m.gatherResp:
+			p, err := dsm.DecodePartition(msg.PartBlob)
+			if err != nil {
+				return nil, err
+			}
+			p.WriteBack(out)
+		case err := <-m.execErr:
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ServedArray returns the master-resident copy of a served array.
+func (m *Master) ServedArray(name string) *dsm.DistArray {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.served[name]
+}
+
+// AccumSum aggregates an accumulator across executors with +.
+func (m *Master) AccumSum(name string) (float64, error) {
+	for _, c := range m.conns {
+		if err := c.send(&Msg{Kind: MsgAccumQuery, AccName: name}); err != nil {
+			return 0, err
+		}
+	}
+	var total float64
+	for i := 0; i < m.n; i++ {
+		select {
+		case msg := <-m.accumResp:
+			total += msg.AccValue
+		case err := <-m.execErr:
+			return 0, err
+		}
+	}
+	return total, nil
+}
+
+// Shutdown stops all executors.
+func (m *Master) Shutdown() {
+	for _, c := range m.conns {
+		c.send(&Msg{Kind: MsgShutdown})
+		c.close()
+	}
+}
+
+// DefineLoop ships a loop definition to every executor, which compiles
+// it into a kernel via the installed LoopCompiler.
+func (m *Master) DefineLoop(def *Msg) error {
+	def.Kind = MsgDefineLoop
+	for _, c := range m.conns {
+		if err := c.send(def); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DistributeServed range-shards a parameter-server array along its last
+// dimension across all executors (Section 4.4: served arrays live on "a
+// number of server processes"). Executors answer each other's prefetch
+// and update batches peer-to-peer; the master only records metadata for
+// Gather.
+func (m *Master) DistributeServed(a *dsm.DistArray) error {
+	m.recordArray(a)
+	lastDim := a.NumDims() - 1
+	boundaries := make([]int64, 0, m.n-1)
+	for k := 1; k < m.n; k++ {
+		boundaries = append(boundaries, a.Dims()[lastDim]*int64(k)/int64(m.n))
+	}
+	parts := a.RangePartitions(lastDim, m.n, boundaries)
+	for id, p := range parts {
+		blob, err := p.Encode()
+		if err != nil {
+			return err
+		}
+		msg := &Msg{
+			Kind:      MsgServedShard,
+			Array:     a.Name(),
+			PartBlob:  blob,
+			Offsets:   boundaries,
+			ArrayDims: map[string][]int64{a.Name(): a.Dims()},
+		}
+		if err := m.conns[id].send(msg); err != nil {
+			return err
+		}
+	}
+	// Peers read each other's shards as soon as their own blocks start,
+	// so wait until every executor has installed its shard.
+	for i := 0; i < m.n; i++ {
+		select {
+		case <-m.ackCh:
+		case err := <-m.execErr:
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"net"
+	"sync"
+)
+
+// MsgKind enumerates protocol messages.
+type MsgKind int
+
+const (
+	// MsgHello: executor → master registration.
+	MsgHello MsgKind = iota
+	// MsgSetup: master → executor topology (peer addresses).
+	MsgSetup
+	// MsgArrayPart: master → executor: hold this array partition.
+	MsgArrayPart
+	// MsgServedShard: master → executor: serve this shard of a
+	// parameter-server array to your peers.
+	MsgServedShard
+	// MsgIterPart: master → executor: your iteration-space samples.
+	MsgIterPart
+	// MsgExecBlock: master → executor: run kernel over your samples
+	// whose time coordinate falls in [TimeLo, TimeHi).
+	MsgExecBlock
+	// MsgBlockDone: executor → master.
+	MsgBlockDone
+	// MsgRotate: executor → executor: a rotated array partition.
+	MsgRotate
+	// MsgPrefetch: executor → master: bulk read of served-array
+	// elements.
+	MsgPrefetch
+	// MsgPrefetchResp: master → executor.
+	MsgPrefetchResp
+	// MsgUpdateBatch: executor → master: buffered writes to a served
+	// array.
+	MsgUpdateBatch
+	// MsgGather: master → executor: send your partition of Array back.
+	MsgGather
+	// MsgGatherResp: executor → master.
+	MsgGatherResp
+	// MsgAccumQuery / MsgAccumResp: accumulator aggregation.
+	MsgAccumQuery
+	MsgAccumResp
+	// MsgDefineLoop: master → executor: compile a DSL loop into a
+	// kernel under LoopName (the runtime analogue of Orion defining
+	// generated loop-body functions in its workers during macro
+	// expansion).
+	MsgDefineLoop
+	// MsgShutdown: master → executor.
+	MsgShutdown
+	// MsgAck: generic acknowledgment.
+	MsgAck
+	// MsgError: either direction; aborts the operation.
+	MsgError
+)
+
+// Msg is the single wire message type (gob encodes nil/zero fields
+// compactly).
+type Msg struct {
+	Kind MsgKind
+
+	// Hello / Setup
+	ExecutorID int
+	PeerAddr   string
+	Peers      []string // indexed by executor id
+	NumExecs   int
+
+	// Array payloads: a gob-encoded dsm.Partition (partition blob) or
+	// raw samples.
+	Array     string
+	PartBlob  []byte
+	Samples   []IterSample
+	Rotated   bool
+	Ordered   bool
+	LoopName  string
+	TimeLo    int64
+	TimeHi    int64
+	TimeDim   int
+	Pass      int
+	StepIndex int
+
+	// Served arrays. Absolute marks an update batch carrying final
+	// values (last-write-wins) rather than additive deltas.
+	Offsets  []int64
+	Values   []float64
+	Absolute bool
+
+	// Accumulators.
+	AccName  string
+	AccValue float64
+
+	// DefineLoop payload: the loop source, the synthesized prefetch
+	// slice (empty if none), the declared arrays/buffers, captured
+	// driver globals, and accumulator names.
+	LoopSrc        string
+	PrefetchSrc    string
+	PrefetchArrays []string
+	ArrayDims      map[string][]int64
+	Buffers        map[string]string
+	GlobalNames    []string
+	GlobalVals     []float64
+	AccumNames     []string
+
+	// Errors.
+	Err string
+}
+
+// IterSample is one iteration-space element shipped to an executor.
+type IterSample struct {
+	Key []int64
+	Val float64
+}
+
+// codec wraps a connection with gob encode/decode and a write lock so
+// multiple goroutines may send on the same connection.
+type codec struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+}
+
+func newCodec(conn net.Conn) *codec {
+	return &codec{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (c *codec) send(m *Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(m)
+}
+
+func (c *codec) recv() (*Msg, error) {
+	var m Msg
+	if err := c.dec.Decode(&m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func (c *codec) close() error { return c.conn.Close() }

@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"orion/internal/dsm"
+)
+
+// Parameter-server sharding (Section 4.4: served DistArrays are "served
+// by a number of server processes"). A served array is range-sharded
+// along its last dimension across all executors; every executor both
+// consumes (prefetching from owners) and serves (answering peer RPCs
+// from its reader goroutines) shards. Same-executor accesses short-
+// circuit locally — the common case after locality-aware planning.
+
+// shardTable tracks one served array's sharding on an executor.
+type shardTable struct {
+	dims []int64
+	// boundaries along the last dim (len = n-1): owner k holds
+	// lastCoord in [boundaries[k-1], boundaries[k]).
+	boundaries []int64
+	// local is this executor's shard (nil if it owns nothing).
+	local *dsm.Partition
+	// lastStride = product of all dims except the last: flattened
+	// offset / lastStride = last-dim coordinate.
+	lastStride int64
+}
+
+func newShardTable(dims, boundaries []int64, local *dsm.Partition) *shardTable {
+	stride := int64(1)
+	for _, d := range dims[:len(dims)-1] {
+		stride *= d
+	}
+	return &shardTable{dims: dims, boundaries: boundaries, local: local, lastStride: stride}
+}
+
+// ownerOf returns the executor owning a flattened offset.
+func (t *shardTable) ownerOf(off int64) int {
+	last := off / t.lastStride
+	return sort.Search(len(t.boundaries), func(k int) bool { return t.boundaries[k] > last })
+}
+
+// at reads a flattened offset from the local shard.
+func (t *shardTable) at(off int64) float64 {
+	idx := unflatten(t.dims, off)
+	return t.local.At(idx...)
+}
+
+// add accumulates into a flattened offset of the local shard.
+func (t *shardTable) add(off int64, delta float64) {
+	idx := unflatten(t.dims, off)
+	t.local.SetAt(t.local.At(idx...)+delta, idx...)
+}
+
+// set overwrites a flattened offset of the local shard.
+func (t *shardTable) set(off int64, v float64) {
+	idx := unflatten(t.dims, off)
+	t.local.SetAt(v, idx...)
+}
+
+func unflatten(dims []int64, off int64) []int64 {
+	idx := make([]int64, len(dims))
+	stride := int64(1)
+	strides := make([]int64, len(dims))
+	for i, d := range dims {
+		strides[i] = stride
+		stride *= d
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		idx[i] = off / strides[i]
+		off %= strides[i]
+	}
+	return idx
+}
+
+// shardSet is the executor-side state for all sharded arrays.
+type shardSet struct {
+	mu     sync.Mutex
+	tables map[string]*shardTable
+	peers  []string
+	t      Transport
+	// clients are lazily dialed RPC connections to peer executors,
+	// used synchronously from the executor's main goroutine.
+	clients map[int]*codec
+	selfID  int
+}
+
+func newShardSet(t Transport, selfID int) *shardSet {
+	return &shardSet{
+		tables:  map[string]*shardTable{},
+		clients: map[int]*codec{},
+		t:       t,
+		selfID:  selfID,
+	}
+}
+
+func (s *shardSet) install(array string, dims, boundaries []int64, local *dsm.Partition) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[array] = newShardTable(dims, boundaries, local)
+}
+
+func (s *shardSet) table(array string) *shardTable {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tables[array]
+}
+
+// serveRead answers a peer's (or the local executor's) read of offsets
+// this executor owns.
+func (s *shardSet) serveRead(array string, offs []int64) ([]float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tables[array]
+	if t == nil || t.local == nil {
+		return nil, fmt.Errorf("runtime: executor %d serves no shard of %q", s.selfID, array)
+	}
+	out := make([]float64, len(offs))
+	for i, off := range offs {
+		out[i] = t.at(off)
+	}
+	return out, nil
+}
+
+// serveUpdate applies a peer's update batch to the local shard:
+// additive deltas, or absolute final values (used for serializable
+// direct writes under ordered wavefront execution, where the schedule
+// guarantees a single writer).
+func (s *shardSet) serveUpdate(array string, offs []int64, vals []float64, absolute bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tables[array]
+	if t == nil || t.local == nil {
+		return fmt.Errorf("runtime: executor %d serves no shard of %q", s.selfID, array)
+	}
+	for i, off := range offs {
+		if absolute {
+			t.set(off, vals[i])
+		} else {
+			t.add(off, vals[i])
+		}
+	}
+	return nil
+}
+
+// client returns (dialing if needed) the RPC connection to peer id.
+func (s *shardSet) client(id int) (*codec, error) {
+	s.mu.Lock()
+	c := s.clients[id]
+	peers := s.peers
+	s.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	if id < 0 || id >= len(peers) {
+		return nil, fmt.Errorf("runtime: no peer %d", id)
+	}
+	conn, err := s.t.Dial(peers[id])
+	if err != nil {
+		return nil, fmt.Errorf("runtime: dialing shard owner %d: %w", id, err)
+	}
+	c = newCodec(conn)
+	s.mu.Lock()
+	if existing := s.clients[id]; existing != nil {
+		s.mu.Unlock()
+		c.close()
+		return existing, nil
+	}
+	s.clients[id] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+func (s *shardSet) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.clients {
+		c.close()
+	}
+	s.clients = map[int]*codec{}
+}

@@ -1,0 +1,112 @@
+// Package runtime is Orion's distributed runtime (Fig. 3): a master
+// coordinating a set of executors that hold DistArray partitions,
+// execute loop-body kernels over iteration-space blocks, rotate
+// time-partitioned arrays around a ring (Fig. 8), serve
+// parameter-server arrays with bulk prefetching (Section 4.4), and
+// aggregate accumulators (Section 3.4).
+//
+// The runtime runs over a Transport: either real TCP sockets or an
+// in-process pipe transport with identical semantics (used by tests and
+// single-machine runs). Kernels are registered by name on both sides —
+// the moral equivalent of Orion defining generated loop-body functions
+// in its distributed workers during macro expansion.
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport abstracts connection establishment so the same runtime runs
+// over TCP or in-process pipes.
+type Transport interface {
+	// Listen starts accepting connections at addr.
+	Listen(addr string) (net.Listener, error)
+	// Dial connects to addr.
+	Dial(addr string) (net.Conn, error)
+}
+
+// TCP is the real-network transport.
+type TCP struct{}
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", addr) }
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// InProc is an in-process transport: addresses are arbitrary strings,
+// connections are synchronous net.Pipe pairs.
+type InProc struct {
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+}
+
+// NewInProc creates an isolated in-process address space.
+func NewInProc() *InProc {
+	return &InProc{listeners: make(map[string]*inprocListener)}
+}
+
+// Listen implements Transport.
+func (t *InProc) Listen(addr string) (net.Listener, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.listeners[addr]; ok {
+		return nil, fmt.Errorf("runtime: inproc address %q already in use", addr)
+	}
+	l := &inprocListener{addr: addr, ch: make(chan net.Conn, 16), done: make(chan struct{}), parent: t}
+	t.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (t *InProc) Dial(addr string) (net.Conn, error) {
+	t.mu.Lock()
+	l, ok := t.listeners[addr]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: inproc dial: no listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("runtime: inproc dial: listener at %q closed", addr)
+	}
+}
+
+type inprocListener struct {
+	addr   string
+	ch     chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+	parent *InProc
+}
+
+func (l *inprocListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.ch:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("runtime: inproc listener %q closed", l.addr)
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.parent.mu.Lock()
+		delete(l.parent.listeners, l.addr)
+		l.parent.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() net.Addr { return inprocAddr(l.addr) }
+
+type inprocAddr string
+
+func (a inprocAddr) Network() string { return "inproc" }
+func (a inprocAddr) String() string  { return string(a) }

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partitioner maps a coordinate along one iteration-space dimension to
+// a partition id in [0, Parts).
+type Partitioner struct {
+	// boundaries[k] is the first coordinate belonging to partition k+1;
+	// len(boundaries) == Parts-1 and it is strictly increasing.
+	boundaries []int64
+	parts      int
+	extent     int64
+}
+
+// NewRangePartitioner splits [0, extent) into parts equal-width ranges.
+func NewRangePartitioner(extent int64, parts int) *Partitioner {
+	if parts <= 0 {
+		panic("sched: parts must be positive")
+	}
+	p := &Partitioner{parts: parts, extent: extent}
+	for k := 1; k < parts; k++ {
+		p.boundaries = append(p.boundaries, extent*int64(k)/int64(parts))
+	}
+	return p
+}
+
+// NewHistogramPartitioner splits [0, extent) into parts ranges with
+// approximately equal total weight, where weight[i] is the number of
+// loop iterations with coordinate i along this dimension. This is
+// Orion's histogram-based balancing for skewed data (Section 4.3,
+// "Dealing with Skewed Data Distribution").
+func NewHistogramPartitioner(weights []int64, parts int) *Partitioner {
+	if parts <= 0 {
+		panic("sched: parts must be positive")
+	}
+	extent := int64(len(weights))
+	p := &Partitioner{parts: parts, extent: extent}
+	var total int64
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return NewRangePartitioner(extent, parts)
+	}
+	// Greedy sweep: cut when the running weight crosses k/parts of the
+	// total. Guarantees non-empty coordinate ranges only when possible.
+	var run int64
+	next := 1
+	for i, w := range weights {
+		run += w
+		for next < parts && run >= total*int64(next)/int64(parts) &&
+			int64(len(p.boundaries)) < int64(i)+1 {
+			p.boundaries = append(p.boundaries, int64(i)+1)
+			next++
+		}
+		if next >= parts {
+			break
+		}
+	}
+	// Pad any missing boundaries at the tail (degenerate, heavily
+	// skewed input with fewer distinct coordinates than parts).
+	for len(p.boundaries) < parts-1 {
+		last := extent
+		if n := len(p.boundaries); n > 0 {
+			last = p.boundaries[n-1]
+		}
+		b := last + 1
+		if b > extent {
+			b = extent
+		}
+		p.boundaries = append(p.boundaries, b)
+	}
+	return p
+}
+
+// PartOf returns the partition id owning coordinate v.
+func (p *Partitioner) PartOf(v int64) int {
+	// boundaries is sorted; find first boundary > v.
+	i := sort.Search(len(p.boundaries), func(k int) bool { return p.boundaries[k] > v })
+	return i
+}
+
+// Parts returns the partition count.
+func (p *Partitioner) Parts() int { return p.parts }
+
+// Bounds returns the half-open coordinate range [lo, hi) of partition k.
+func (p *Partitioner) Bounds(k int) (lo, hi int64) {
+	if k < 0 || k >= p.parts {
+		panic(fmt.Sprintf("sched: partition %d out of range [0,%d)", k, p.parts))
+	}
+	lo = int64(0)
+	if k > 0 {
+		lo = p.boundaries[k-1]
+	}
+	hi = p.extent
+	if k < p.parts-1 {
+		hi = p.boundaries[k]
+	}
+	return lo, hi
+}
+
+// Weights computes a histogram of per-coordinate iteration counts along
+// one dimension from a coordinate accessor, for feeding
+// NewHistogramPartitioner.
+func Weights(extent int64, n int, coord func(i int) int64) []int64 {
+	w := make([]int64, extent)
+	for i := 0; i < n; i++ {
+		c := coord(i)
+		if c >= 0 && c < extent {
+			w[c]++
+		}
+	}
+	return w
+}

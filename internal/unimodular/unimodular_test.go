@@ -1,0 +1,190 @@
+package unimodular
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"orion/internal/dep"
+)
+
+func TestDetAndInverse(t *testing.T) {
+	m := Matrix{{1, 2}, {0, 1}}
+	if d := m.Det(); d != 1 {
+		t.Fatalf("det = %d, want 1", d)
+	}
+	inv := m.Inverse()
+	if got := m.Mul(inv); got.String() != Identity(2).String() {
+		t.Fatalf("m * m^-1 = %v", got)
+	}
+	r := Reversal(3, 1)
+	if d := r.Det(); d != -1 {
+		t.Fatalf("reversal det = %d, want -1", d)
+	}
+	if got := r.Mul(r.Inverse()); got.String() != Identity(3).String() {
+		t.Fatalf("reversal inverse broken: %v", got)
+	}
+}
+
+func TestGeneratorsAreUnimodular(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		for i := 0; i < n; i++ {
+			if !Reversal(n, i).IsUnimodular() {
+				t.Errorf("Reversal(%d,%d) not unimodular", n, i)
+			}
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if !Interchange(n, i, j).IsUnimodular() {
+					t.Errorf("Interchange(%d,%d,%d) not unimodular", n, i, j)
+				}
+				if !Skew(n, i, j, 3).IsUnimodular() {
+					t.Errorf("Skew(%d,%d,%d,3) not unimodular", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+// Property: products of random generators stay unimodular and invert
+// exactly.
+func TestRandomProductsUnimodular(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(2)
+		m := Identity(n)
+		for k := 0; k < 5; k++ {
+			var g Matrix
+			switch rng.Intn(3) {
+			case 0:
+				g = Reversal(n, rng.Intn(n))
+			case 1:
+				i := rng.Intn(n)
+				j := (i + 1 + rng.Intn(n-1)) % n
+				g = Interchange(n, i, j)
+			default:
+				i := rng.Intn(n)
+				j := (i + 1 + rng.Intn(n-1)) % n
+				g = Skew(n, i, j, int64(rng.Intn(5)-2))
+			}
+			m = g.Mul(m)
+		}
+		if !m.IsUnimodular() {
+			t.Fatalf("trial %d: product not unimodular: %v det=%d", trial, m, m.Det())
+		}
+		if got := m.Mul(m.Inverse()); got.String() != Identity(n).String() {
+			t.Fatalf("trial %d: inverse broken for %v", trial, m)
+		}
+	}
+}
+
+func TestSkewEnables2D(t *testing.T) {
+	// The Fig. 7b pattern: dependences (1,0) and (0,1). Skewing the
+	// inner loop (new_j = j + i is equivalent to making the first row
+	// [1 0] insufficient; the classic wavefront transform uses first
+	// row [1 1]). After T = [[1,1],[0,1]], vectors become (1,0) and
+	// (1,1): all outer-carried.
+	vecs := []dep.Vector{
+		{dep.D(1), dep.D(0)},
+		{dep.D(0), dep.D(1)},
+	}
+	m, ok := Find(2, vecs, 3, 2)
+	if !ok {
+		t.Fatal("expected to find a transform for the wavefront pattern")
+	}
+	if !m.IsUnimodular() {
+		t.Fatalf("found non-unimodular transform %v", m)
+	}
+	if !OuterCarried(m, vecs) {
+		t.Fatalf("transform %v does not carry all deps outer", m)
+	}
+}
+
+func TestFindHandlesNegativeComponents(t *testing.T) {
+	// (1, -2) needs a skew with factor >= 2 (first row [1 f] gives
+	// 1 - 2f > 0 only for f <= 0; need row like [2 1]? With generators
+	// available the search must find something).
+	vecs := []dep.Vector{{dep.D(1), dep.D(-2)}, {dep.D(0), dep.D(1)}}
+	m, ok := Find(2, vecs, 3, 3)
+	if !ok {
+		t.Fatal("expected transform for (1,-2),(0,1)")
+	}
+	if !OuterCarried(m, vecs) {
+		t.Fatalf("bad transform %v", m)
+	}
+}
+
+func TestFindRejectsAnyComponents(t *testing.T) {
+	vecs := []dep.Vector{{dep.DAny(), dep.D(1)}}
+	if _, ok := Find(2, vecs, 3, 2); ok {
+		t.Fatal("vectors with Any components must be ineligible")
+	}
+}
+
+func TestFindPosInfEligible(t *testing.T) {
+	// (+inf, 0) and (0, +inf) — the MF pattern after normalization.
+	// Identity already outer-carries nothing ((0,+inf) has first comp
+	// 0), but a skew row [1 1] gives +inf and +inf: carried.
+	vecs := []dep.Vector{
+		{dep.DPos(), dep.D(0)},
+		{dep.D(0), dep.DPos()},
+	}
+	m, ok := Find(2, vecs, 3, 2)
+	if !ok {
+		t.Fatal("expected transform for the +inf pattern")
+	}
+	if !OuterCarried(m, vecs) {
+		t.Fatalf("bad transform %v", m)
+	}
+}
+
+func TestTransformDistArithmetic(t *testing.T) {
+	// 1·(+inf) + 1·(-1) = +inf ; 1·(+inf) + 1·(-inf) = Any ;
+	// 0·Any = 0 ; -2·(+inf) = -inf.
+	cases := []struct {
+		coeffs []int64
+		d      dep.Vector
+		want   string
+	}{
+		{[]int64{1, 1}, dep.Vector{dep.DPos(), dep.D(-1)}, "+inf"},
+		{[]int64{1, 1}, dep.Vector{dep.DPos(), dep.DNeg()}, "inf"},
+		{[]int64{0, 1}, dep.Vector{dep.DAny(), dep.D(5)}, "5"},
+		{[]int64{-2, 0}, dep.Vector{dep.DPos(), dep.D(9)}, "-inf"},
+		{[]int64{2, 3}, dep.Vector{dep.D(1), dep.D(-1)}, "-1"},
+	}
+	for _, c := range cases {
+		got := TransformDist(c.coeffs, c.d)
+		if got.String() != c.want {
+			t.Errorf("TransformDist(%v, %v) = %s, want %s", c.coeffs, c.d, got, c.want)
+		}
+	}
+}
+
+// Property: for finite vectors, TransformVector agrees with plain
+// integer matrix-vector multiply.
+func TestTransformVectorFiniteProperty(t *testing.T) {
+	f := func(a, b, c, d, x, y int8) bool {
+		m := Matrix{{int64(a), int64(b)}, {int64(c), int64(d)}}
+		v := dep.Vector{dep.D(int64(x)), dep.D(int64(y))}
+		got := TransformVector(m, v)
+		w0 := int64(a)*int64(x) + int64(b)*int64(y)
+		w1 := int64(c)*int64(x) + int64(d)*int64(y)
+		return got[0].Kind == dep.Finite && got[0].Val == w0 &&
+			got[1].Kind == dep.Finite && got[1].Val == w1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyRoundTrip(t *testing.T) {
+	m := Matrix{{1, 1}, {0, 1}}
+	inv := m.Inverse()
+	p := []int64{3, 5}
+	q := m.Apply(p)
+	back := inv.Apply(q)
+	if back[0] != p[0] || back[1] != p[1] {
+		t.Fatalf("round trip failed: %v -> %v -> %v", p, q, back)
+	}
+}
