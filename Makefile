@@ -1,0 +1,42 @@
+# Orion development targets. `make check` is the full gate: formatting,
+# vet, build, tests, and the race detector on the concurrency-heavy
+# packages.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race vet-examples fuzz
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The runtime, driver, and engine packages exercise executors, rotation
+# pipelines, and the simulator concurrently — run them under the race
+# detector.
+race:
+	$(GO) test -race ./internal/runtime ./internal/driver ./internal/engine
+
+# Vet every shipped example program; unsafe.orion is expected to fail.
+vet-examples:
+	$(GO) run ./cmd/orion-vet examples/quickstart/mf.orion \
+		examples/slr_prefetch/slr.orion examples/wavefront/stencil.orion \
+		examples/lda_dsl/lda.orion examples/vet_demo/fixed.orion
+	! $(GO) run ./cmd/orion-vet examples/vet_demo/unsafe.orion
+
+# Short fuzzing sessions over the DSL front end.
+fuzz:
+	$(GO) test ./internal/lang -fuzz 'FuzzParse$$' -fuzztime 30s
+	$(GO) test ./internal/lang -fuzz FuzzParseProgram -fuzztime 30s

@@ -21,10 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"orion/internal/dep"
+	"orion/internal/check"
+	"orion/internal/diag"
 	"orion/internal/lang"
 	"orion/internal/sched"
 )
@@ -92,43 +91,38 @@ func main() {
 		fatal(fmt.Errorf("unknown example %q", *example))
 	}
 
-	env, loopSrc, err := parseInput(src)
-	if err != nil {
-		fatal(err)
+	// The static diagnostics engine runs the whole pipeline — parse,
+	// analysis, dependence vectors, plan, lints — in one call.
+	name := *file
+	if name == "" {
+		name = "example-" + *example
 	}
-	loop, err := lang.Parse(loopSrc)
-	if err != nil {
-		fatal(err)
+	res := check.Source(src, check.Options{File: name})
+	if res.Err() != nil {
+		fmt.Fprint(os.Stderr, diag.RenderString(res.Diags, map[string]string{name: src}))
+		os.Exit(1)
 	}
-	spec, err := lang.Analyze(loop, env)
-	if err != nil {
-		fatal(err)
-	}
+	spec, plan := res.Spec, res.Plan
+
 	fmt.Println("--- Loop information (static analysis) ---")
 	fmt.Print(spec)
 
-	deps, err := dep.Analyze(spec)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Println("\n--- Dependence vectors ---")
-	fmt.Println(deps)
+	fmt.Println(res.Deps())
 
-	opts := sched.DefaultOptions()
-	opts.ArrayBytes = map[string]int64{}
-	for name, dims := range env.Arrays {
-		total := int64(8)
-		for _, d := range dims {
-			total *= d
-		}
-		opts.ArrayBytes[name] = total
-	}
-	plan, err := sched.NewFromDeps(spec, deps, opts)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Println("\n--- Parallelization plan ---")
 	fmt.Print(plan)
+
+	fmt.Println("\n--- Strategy explanation ---")
+	for _, line := range res.Explanation {
+		fmt.Println(line)
+	}
+
+	// Non-fatal lints (assumed commutativity, runtime subscripts, ...).
+	if res.Diags.Count(diag.Warning) > 0 || res.Diags.Count(diag.Info) > 0 {
+		fmt.Println("\n--- Diagnostics ---")
+		fmt.Print(diag.RenderString(res.Diags, map[string]string{name: src}))
+	}
 
 	// For parameter-server-served arrays, show the synthesized
 	// bulk-prefetch function (Section 4.4).
@@ -139,7 +133,7 @@ func main() {
 		}
 	}
 	if len(served) > 0 {
-		sliced, skipped, err := lang.PrefetchSlice(loop, env, served...)
+		sliced, skipped, err := lang.PrefetchSlice(res.Program.Loop, res.Program.Env, served...)
 		if err == nil {
 			fmt.Println("\n--- Synthesized prefetch function ---")
 			fmt.Println(sliced)
@@ -148,46 +142,6 @@ func main() {
 			}
 		}
 	}
-}
-
-func parseInput(src string) (*lang.Env, string, error) {
-	parts := strings.SplitN(src, "---", 2)
-	if len(parts) != 2 {
-		return nil, "", fmt.Errorf("missing '---' separator between declarations and loop")
-	}
-	env := &lang.Env{Arrays: map[string][]int64{}, Buffers: map[string]string{}}
-	for lineNo, line := range strings.Split(parts[0], "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "array":
-			if len(fields) < 3 {
-				return nil, "", fmt.Errorf("line %d: array needs a name and extents", lineNo+1)
-			}
-			dims := make([]int64, 0, len(fields)-2)
-			for _, f := range fields[2:] {
-				v, err := strconv.ParseInt(f, 10, 64)
-				if err != nil {
-					return nil, "", fmt.Errorf("line %d: bad extent %q", lineNo+1, f)
-				}
-				dims = append(dims, v)
-			}
-			env.Arrays[fields[1]] = dims
-		case "buffer":
-			if len(fields) != 3 {
-				return nil, "", fmt.Errorf("line %d: buffer needs a name and target array", lineNo+1)
-			}
-			env.Buffers[fields[1]] = fields[2]
-		case "ordered":
-			env.Ordered = len(fields) > 1 && fields[1] == "true"
-		default:
-			return nil, "", fmt.Errorf("line %d: unknown declaration %q", lineNo+1, fields[0])
-		}
-	}
-	return env, parts[1], nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,114 @@
+// Command orion-vet vets Orion DSL program files without running them:
+// it parses each file (preamble + '---' + loop), runs the full static
+// diagnostics engine (internal/check) — front-end analysis, dependence
+// vectors, plan selection, safety lints, strategy verdict — and prints
+// positioned diagnostics with source carets:
+//
+//	$ orion-vet examples/vet_demo/unsafe.orion
+//	examples/vet_demo/unsafe.orion:8:5: error[ORN201]: loop "loop" is not parallelizable: ...
+//	    hist[b] = hist[b] + 1
+//	    ^
+//	  note: run the loop serially, or — if the conflicting updates commute — ...
+//
+// Flags:
+//
+//	-json     emit a machine-readable JSON report instead of text
+//	-explain  also print the strategy-explanation trail per file
+//
+// Exit status: 0 when no file has error diagnostics, 1 when at least
+// one does, 2 on usage or I/O problems.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"orion/internal/check"
+	"orion/internal/diag"
+)
+
+// fileReport is the per-file entry of the -json output.
+type fileReport struct {
+	File        string            `json:"file"`
+	Strategy    string            `json:"strategy,omitempty"`
+	Diagnostics []diag.Diagnostic `json:"diagnostics"`
+	Explanation []string          `json:"explanation,omitempty"`
+}
+
+// report is the whole -json document.
+type report struct {
+	Files    []fileReport `json:"files"`
+	Errors   int          `json:"errors"`
+	Warnings int          `json:"warnings"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
+	explain := flag.Bool("explain", false, "print the strategy-explanation trail")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: orion-vet [-json] [-explain] file.orion...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep := report{Files: []fileReport{}}
+	sources := map[string]string{}
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orion-vet:", err)
+			os.Exit(2)
+		}
+		src := string(b)
+		sources[path] = src
+
+		res := check.Source(src, check.Options{File: path})
+		fr := fileReport{File: path, Diagnostics: append([]diag.Diagnostic{}, res.Diags...)}
+		if res.Plan != nil {
+			fr.Strategy = res.Plan.Kind.String()
+		}
+		if *explain {
+			fr.Explanation = res.Explanation
+		}
+		rep.Files = append(rep.Files, fr)
+		for _, d := range res.Diags {
+			switch d.Severity {
+			case diag.Error:
+				rep.Errors++
+			case diag.Warning:
+				rep.Warnings++
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "orion-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, fr := range rep.Files {
+			diag.Render(os.Stdout, fr.Diagnostics, sources)
+			if len(fr.Explanation) > 0 {
+				fmt.Printf("%s: strategy explanation:\n", fr.File)
+				for _, line := range fr.Explanation {
+					fmt.Println("  " + line)
+				}
+			}
+		}
+		if rep.Errors > 0 || rep.Warnings > 0 {
+			fmt.Printf("orion-vet: %d error(s), %d warning(s)\n", rep.Errors, rep.Warnings)
+		}
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,199 @@
+package check
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"orion/internal/diag"
+	"orion/internal/sched"
+)
+
+// TestExamplesCorpus vets every .orion program shipped under examples/:
+// all must be error-free except the deliberately unsafe vet_demo
+// program, which must produce a positioned ORN201 naming the
+// conflicting references.
+func TestExamplesCorpus(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/*/*.orion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 5 {
+		t.Fatalf("expected at least 5 example programs, found %v", paths)
+	}
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Source(string(b), Options{File: path})
+		if filepath.Base(path) == "unsafe.orion" {
+			d := res.Diags.First(diag.CodeNotParallel)
+			if d == nil {
+				t.Fatalf("%s: expected an ORN201 error, got %v", path, res.Diags)
+			}
+			if d.Severity != diag.Error {
+				t.Fatalf("%s: ORN201 severity %v, want error", path, d.Severity)
+			}
+			if d.Pos.Line <= 0 || d.Pos.Col <= 0 || d.Pos.File != path {
+				t.Fatalf("%s: ORN201 position %v is not fully specified", path, d.Pos)
+			}
+			// The message must name the conflicting references and the
+			// blocking vector.
+			for _, want := range []string{"hist", "read", "write", "+inf"} {
+				if !strings.Contains(d.Message, want) {
+					t.Fatalf("%s: ORN201 message %q does not mention %q", path, d.Message, want)
+				}
+			}
+			if d.Note == "" {
+				t.Fatalf("%s: ORN201 has no fix suggestion", path)
+			}
+			continue
+		}
+		if res.Err() != nil {
+			t.Fatalf("%s must vet clean, got: %v\nall: %v", path, res.Err(), res.Diags)
+		}
+		if res.Plan == nil {
+			t.Fatalf("%s: no plan produced", path)
+		}
+		if len(res.Explanation) == 0 {
+			t.Fatalf("%s: no strategy explanation", path)
+		}
+	}
+}
+
+// TestEveryDiagnosticIsComplete: each diagnostic the engine emits must
+// carry a position, a stable code, and a fix note.
+func TestEveryDiagnosticIsComplete(t *testing.T) {
+	paths, _ := filepath.Glob("../../examples/*/*.orion")
+	for _, path := range paths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Source(string(b), Options{File: path})
+		for _, d := range res.Diags {
+			if !strings.HasPrefix(d.Code, "ORN") || len(d.Code) != 6 {
+				t.Fatalf("%s: diagnostic %v has a malformed code", path, d)
+			}
+			if !d.Pos.IsValid() || d.Pos.File != path {
+				t.Fatalf("%s: diagnostic %v lacks a full position", path, d)
+			}
+			if d.Note == "" {
+				t.Fatalf("%s: diagnostic %v has no fix suggestion", path, d)
+			}
+		}
+	}
+}
+
+// TestDiagnosticsJSONRoundTrip: the full diagnostic list of a vetted
+// file must survive encoding/json unchanged — the -json contract of
+// orion-vet.
+func TestDiagnosticsJSONRoundTrip(t *testing.T) {
+	b, err := os.ReadFile("../../examples/vet_demo/unsafe.orion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Source(string(b), Options{File: "unsafe.orion"})
+	if len(res.Diags) == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	enc, err := json.Marshal(res.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back diag.List
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Diags, back) {
+		t.Fatalf("JSON round trip changed the diagnostics:\n got %v\nwant %v", back, res.Diags)
+	}
+}
+
+func TestStrategyDiagnostics(t *testing.T) {
+	// The ordered stencil needs a unimodular transform: ORN202 warning,
+	// but no error (vet accepts it; only the distributed driver refuses).
+	src := `array grid 8 8
+array A 8 8
+ordered true
+---
+for (key, v) in grid
+    A[key[1], key[2]] = A[key[1], key[2] - 1] + A[key[1] - 1, key[2] + 1]
+end
+`
+	res := Source(src, Options{File: "stencil.orion"})
+	if res.Err() != nil {
+		t.Fatalf("transformable loop must not be an error: %v", res.Diags)
+	}
+	if d := res.Diags.First(diag.CodeNeedsTransform); d == nil {
+		t.Fatalf("expected ORN202, got %v", res.Diags)
+	}
+	if res.Plan.Kind != sched.TwoDTransformed {
+		t.Fatalf("plan kind %v, want TwoDTransformed", res.Plan.Kind)
+	}
+	joined := strings.Join(res.Explanation, "\n")
+	for _, want := range []string{"strategy:", "unimodular", "dependence provenance"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("explanation lacks %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestUnusedGlobalLint(t *testing.T) {
+	src := `array data 10
+global step_size unused_knob
+---
+for (key, v) in data
+    x = v * step_size
+    acc += x
+end
+`
+	res := Source(src, Options{File: "g.orion"})
+	if res.Err() != nil {
+		t.Fatal(res.Err())
+	}
+	var hits []string
+	for _, d := range res.Diags {
+		if d.Code == diag.CodeUnusedGlobal {
+			hits = append(hits, d.Message)
+		}
+	}
+	if len(hits) != 1 || !strings.Contains(hits[0], "unused_knob") {
+		t.Fatalf("want exactly one ORN104 about unused_knob, got %v", hits)
+	}
+}
+
+func TestFrontEndErrorsStopPipeline(t *testing.T) {
+	src := `array data 10
+---
+for (key, v) in data
+    x = mystery(v)
+end
+`
+	res := Source(src, Options{File: "bad.orion"})
+	if res.Err() == nil {
+		t.Fatal("expected front-end errors")
+	}
+	if res.Plan != nil || res.Detail != nil {
+		t.Fatal("pipeline must stop at front-end errors")
+	}
+	d := res.Diags.First(diag.CodeUnknownFn)
+	if d == nil || d.Pos.Line != 4 {
+		t.Fatalf("want ORN013 at file line 4, got %v", res.Diags)
+	}
+}
+
+func TestSyntaxErrorsArePositioned(t *testing.T) {
+	res := Source("array data 10\n---\nfor (key, v) in data\n    x = = 1\nend\n", Options{File: "s.orion"})
+	d := res.Diags.First(diag.CodeSyntax)
+	if d == nil {
+		t.Fatalf("want ORN001, got %v", res.Diags)
+	}
+	if d.Pos.Line != 4 {
+		t.Fatalf("syntax error at file line %d, want 4", d.Pos.Line)
+	}
+}

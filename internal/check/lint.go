@@ -1,0 +1,188 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"orion/internal/diag"
+	"orion/internal/ir"
+	"orion/internal/sched"
+)
+
+// lint is pass 4: safety warnings over the spec, the dependence detail,
+// and the plan. Errors never originate here — a lint firing does not
+// stop driver.ParallelFor.
+func (r *Result) lint(opts Options) {
+	r.lintRuntimeSubscripts(opts)
+	r.lintCommuteAssumptions(opts)
+	r.lintFlowDeps(opts)
+	r.lintUnusedGlobals(opts)
+	r.lintRotatedWrites(opts)
+}
+
+// lintRuntimeSubscripts flags ORN101: an unbuffered reference whose
+// subscript depends on runtime data. Dependence analysis must assume it
+// touches any element, which usually forces the serial fallback.
+func (r *Result) lintRuntimeSubscripts(opts Options) {
+	for _, ref := range r.Spec.Refs {
+		if ref.IsWrite && ref.Buffered {
+			// A buffered write is exempt from dependence analysis; its
+			// subscript shape cannot block parallelization.
+			continue
+		}
+		for _, s := range ref.Subs {
+			if s.Kind == ir.SubRuntime {
+				r.Diags.Add(diag.Warningf(diag.CodeRuntimeSub, refPos(opts.File, ref),
+					"the analyzer must assume this reference can touch any element; if the updates commute, route the write through a DistArrayBuffer to lift the dependence",
+					"subscript of %s depends on runtime data (not a loop index or constant)", ref))
+				break
+			}
+		}
+	}
+}
+
+// lintCommuteAssumptions flags ORN102: write-write conflicts that
+// Algorithm 2 dropped because the loop is unordered. Correctness then
+// relies on the updates commuting — worth telling the programmer.
+func (r *Result) lintCommuteAssumptions(opts Options) {
+	for _, c := range r.Detail.Commute {
+		r.Diags.Add(diag.Warningf(diag.CodeCommuteAssumed, refPos(opts.File, c.A),
+			"the unordered loop declaration lets Orion ignore write-write conflicts (Algorithm 2); make sure these updates commute, or declare the loop ordered",
+			"write-write conflict on %q assumed commutative: %s", c.Array, c))
+	}
+}
+
+// lintFlowDeps flags ORN103: an array read under one subscript and
+// written (unbuffered) under a different one. Such flow dependences are
+// what typically serializes a loop; a DistArrayBuffer on the write is
+// the usual fix when the update commutes.
+func (r *Result) lintFlowDeps(opts Options) {
+	type pairKey struct{ array, write, read string }
+	seen := map[pairKey]bool{}
+	for _, w := range r.Spec.Refs {
+		if !w.IsWrite || w.Buffered {
+			continue
+		}
+		for _, rd := range r.Spec.Refs {
+			if rd.IsWrite || rd.Array != w.Array {
+				continue
+			}
+			ws, rs := subsString(w), subsString(rd)
+			if ws == rs {
+				continue
+			}
+			k := pairKey{w.Array, ws, rs}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			at := ""
+			if p := rd.Pos(); p != "" {
+				at = " at " + p
+			}
+			r.Diags.Add(diag.Warningf(diag.CodeFlowDep, refPos(opts.File, w),
+				"one iteration's write can feed another iteration's read; if the update commutes, route the write through a DistArrayBuffer so the dependence is lifted",
+				"%s conflicts with %s%s under a different subscript", w, rd, at))
+		}
+	}
+}
+
+func subsString(ref ir.ArrayRef) string {
+	parts := make([]string, len(ref.Subs))
+	for i, s := range ref.Subs {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// lintUnusedGlobals flags ORN104: a driver variable declared as
+// available (SetGlobal / 'global' preamble line) that the loop never
+// inherits — usually a typo in the loop body.
+func (r *Result) lintUnusedGlobals(opts Options) {
+	inherited := map[string]bool{}
+	for _, v := range r.Spec.Inherited {
+		inherited[v] = true
+	}
+	for _, g := range opts.Globals {
+		if !inherited[g] {
+			r.Diags.Add(diag.Warningf(diag.CodeUnusedGlobal,
+				diag.Pos{File: opts.File, Line: r.Loop.At.Line, Col: r.Loop.At.Col},
+				"remove the declaration, or check the loop body for a misspelled use",
+				"global %q is declared but never used by the loop", g))
+		}
+	}
+}
+
+// lintRotatedWrites notes ORN105 (info): in an unordered 2D plan a
+// rotated array is written while its partitions migrate between workers
+// (Fig. 8). That is correct under serializability but means iterations
+// observe partition state in rotation order, not key order.
+func (r *Result) lintRotatedWrites(opts Options) {
+	if r.Plan == nil || r.Plan.Kind != sched.TwoD || r.Spec.Ordered {
+		return
+	}
+	rotated := map[string]bool{}
+	for _, a := range r.Plan.Arrays {
+		if a.Place == sched.Rotated {
+			rotated[a.Array] = true
+		}
+	}
+	seen := map[string]bool{}
+	for _, ref := range r.Spec.Refs {
+		if !ref.IsWrite || ref.Buffered || !rotated[ref.Array] || seen[ref.Array] {
+			continue
+		}
+		seen[ref.Array] = true
+		r.Diags.Add(diag.Infof(diag.CodeRotatedWrite, refPos(opts.File, ref),
+			"this is correct for serializable (unordered) semantics; declare the loop ordered if updates must be applied in key order",
+			"writes to %q are applied in pipelined-rotation order, not key order", ref.Array))
+	}
+}
+
+// strategy is pass 5's verdict: an error when the loop cannot run in
+// parallel (ORN201) and a warning when it only runs after a unimodular
+// transformation (ORN202), each naming its evidence.
+func (r *Result) strategy(opts Options) {
+	switch r.Plan.Kind {
+	case sched.NotParallelizable:
+		pos := diag.Pos{File: opts.File, Line: r.Loop.At.Line, Col: r.Loop.At.Col}
+		evidence := "no dependence-free partitioning dimension exists"
+		if cs := r.Detail.Causes; len(cs) > 0 {
+			c := cs[0]
+			if c.A.Line > 0 {
+				pos = refPos(opts.File, c.A)
+			}
+			var vecs []string
+			for _, v := range c.Vecs {
+				vecs = append(vecs, v.String())
+			}
+			evidence = fmt.Sprintf("dependence vector %s from %s blocks every strategy",
+				strings.Join(vecs, ", "), c)
+		}
+		r.Diags.Add(diag.Errorf(diag.CodeNotParallel, pos,
+			"run the loop serially, or — if the conflicting updates commute — route the write through a DistArrayBuffer to lift the dependence (Section 3.3)",
+			"loop %q is not parallelizable: %s", r.Spec.Name, evidence))
+	case sched.TwoDTransformed:
+		r.Diags.Add(diag.Warningf(diag.CodeNeedsTransform,
+			diag.Pos{File: opts.File, Line: r.Loop.At.Line, Col: r.Loop.At.Col},
+			"the transformed iteration space no longer aligns with the DistArrays, so accesses are parameter-server-served; the distributed driver does not execute transformed loops yet",
+			"loop %q is only parallelizable after unimodular transformation %v",
+			r.Spec.Name, r.Plan.Transform))
+	}
+}
+
+// explain assembles the strategy-explanation trail: the plan's §3.2
+// condition report plus the provenance of every dependence vector.
+func (r *Result) explain() []string {
+	out := r.Plan.Explain()
+	if len(r.Detail.Causes) > 0 {
+		out = append(out, "dependence provenance:")
+		for _, c := range r.Detail.Causes {
+			out = append(out, "  "+c.String())
+		}
+	}
+	for _, c := range r.Detail.Commute {
+		out = append(out, fmt.Sprintf("assumed commutative (unordered loop): %s", c))
+	}
+	return out
+}

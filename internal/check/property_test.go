@@ -1,0 +1,88 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"orion/internal/dsm"
+	"orion/internal/lang"
+)
+
+// randomSafeProgram generates a DSL program from patterns that are
+// parallel-safe by construction: element-wise writes under the loop's
+// own subscripts, row reads/writes on a single key dimension, buffered
+// scatter writes, and scalar accumulators.
+func randomSafeProgram(rng *rand.Rand) string {
+	var body []string
+	stmt := func(s string, args ...any) { body = append(body, fmt.Sprintf(s, args...)) }
+	c := func() float64 { return float64(1+rng.Intn(9)) / 4 }
+
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0: // element-wise update of the mirror array
+			stmt("    A[key[1], key[2]] = v * %g + %g", c(), c())
+		case 1: // row update on one key dimension (1D/2D-safe)
+			stmt("    r%d = W[:, key[1]]", i)
+			stmt("    W[:, key[1]] = r%d * %g", i, c())
+		case 2: // buffered scatter write (exempt from dependence analysis)
+			stmt("    b%d = floor(v * 7) + 1", i)
+			stmt("    h_buf[b%d] += %g", i, c())
+		default: // scalar accumulator
+			stmt("    acc += v * %g", c())
+		}
+	}
+	return "for (key, v) in data\n" + strings.Join(body, "\n") + "\nend\n"
+}
+
+// TestCheckCleanProgramsRun: any program the diagnostics engine passes
+// without errors must also be accepted by the legacy Analyze API and
+// execute under the interpreter — vet-clean implies runnable.
+func TestCheckCleanProgramsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	env := &lang.Env{
+		Arrays: map[string][]int64{
+			"data": {6, 5},
+			"A":    {6, 5},
+			"W":    {3, 6},
+			"hist": {8},
+		},
+		Buffers: map[string]string{"h_buf": "hist"},
+	}
+	for trial := 0; trial < 200; trial++ {
+		src := randomSafeProgram(rng)
+		loop, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: generator emitted unparsable program:\n%s\n%v", trial, src, err)
+		}
+		res := Run(loop, env, Options{File: "gen.orion"})
+		if res.Err() != nil {
+			t.Fatalf("trial %d: safe-by-construction program rejected:\n%s\n%v", trial, src, res.Diags)
+		}
+
+		// Vet-clean ⇒ the legacy API accepts it...
+		if _, err := lang.Analyze(loop, env); err != nil {
+			t.Fatalf("trial %d: check passed but Analyze failed: %v\n%s", trial, err, src)
+		}
+
+		// ...and the interpreter runs it.
+		m := lang.NewMachine()
+		data := dsm.NewSparse("data", 6, 5)
+		// Values stay in (0,1) so generated bins floor(v*7)+1 land
+		// inside hist.
+		data.SetAt(0.5, 1, 2)
+		data.SetAt(0.9, 4, 3)
+		m.Arrays["data"] = data
+		m.Arrays["A"] = dsm.NewDense("A", 6, 5)
+		m.Arrays["W"] = dsm.NewDense("W", 3, 6)
+		hist := dsm.NewDense("hist", 8)
+		m.Arrays["hist"] = hist
+		m.Buffers["h_buf"] = dsm.NewBuffer(hist, nil)
+		m.Globals["acc"] = float64(0)
+		if err := m.RunLoop(loop); err != nil {
+			t.Fatalf("trial %d: check-clean program failed to execute: %v\n%s", trial, err, src)
+		}
+	}
+}

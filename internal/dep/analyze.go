@@ -2,6 +2,7 @@ package dep
 
 import (
 	"fmt"
+	"strings"
 
 	"orion/internal/ir"
 )
@@ -10,19 +11,82 @@ import (
 // Algorithm 2 for every referenced DistArray and unioning the results.
 // Buffered writes (DistArray Buffers, Section 3.3) are exempt.
 func Analyze(loop *ir.LoopSpec) (*Set, error) {
+	d, err := AnalyzeDetail(loop)
+	if err != nil {
+		return nil, err
+	}
+	return d.Set, nil
+}
+
+// Cause records the pair of static references whose subscripts produced
+// one or more dependence vectors — the provenance the diagnostics
+// engine uses to explain *which* access pattern blocks parallelization.
+type Cause struct {
+	Array string
+	// A and B are the conflicting references (A may equal B: the same
+	// static reference executed by two different iterations).
+	A, B ir.ArrayRef
+	// Vecs are the lexicographically positive vectors the pair yields.
+	Vecs []Vector
+}
+
+func (c Cause) String() string {
+	parts := make([]string, len(c.Vecs))
+	for i, v := range c.Vecs {
+		parts[i] = v.String()
+	}
+	loc := func(r ir.ArrayRef) string {
+		if p := r.Pos(); p != "" {
+			return " at " + p
+		}
+		return ""
+	}
+	return fmt.Sprintf("%s%s conflicts with %s%s: distance %s",
+		c.A, loc(c.A), c.B, loc(c.B), strings.Join(parts, ", "))
+}
+
+// Detail is the result of dependence analysis with provenance.
+type Detail struct {
+	Set *Set
+	// Causes lists, per contributing reference pair, the vectors it
+	// produced (in discovery order; vectors may repeat across causes).
+	Causes []Cause
+	// Commute lists write-write reference pairs that DO conflict across
+	// iterations but were excluded from Set because the loop is
+	// unordered — Algorithm 2's commutativity assumption. Correctness
+	// relies on these updates commuting.
+	Commute []Cause
+}
+
+// CausesOf returns the causes that produced a vector equal to v.
+func (d *Detail) CausesOf(v Vector) []Cause {
+	var out []Cause
+	for _, c := range d.Causes {
+		for _, cv := range c.Vecs {
+			if cv.Equal(v) {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AnalyzeDetail is Analyze, additionally reporting which reference
+// pairs produced each vector and which write-write conflicts were
+// assumed commutative.
+func AnalyzeDetail(loop *ir.LoopSpec) (*Detail, error) {
 	if err := loop.Validate(); err != nil {
 		return nil, err
 	}
-	set := NewSet()
+	d := &Detail{Set: NewSet()}
 	for _, array := range loop.Arrays() {
 		refs := effectiveRefs(loop.RefsTo(array))
-		vecs, err := analyzeArray(loop, array, refs)
-		if err != nil {
+		if err := d.analyzeArray(loop, array, refs); err != nil {
 			return nil, err
 		}
-		set.AddAll(vecs)
 	}
-	return set, nil
+	return d, nil
 }
 
 // effectiveRefs drops buffered writes from dependence analysis.
@@ -39,10 +103,10 @@ func effectiveRefs(refs []ir.ArrayRef) []ir.ArrayRef {
 
 // analyzeArray is Algorithm 2: it produces at most one dependence vector
 // (before lexicographic normalization) per unique pair of static
-// references to the same DistArray.
-func analyzeArray(loop *ir.LoopSpec, array string, refs []ir.ArrayRef) ([]Vector, error) {
+// references to the same DistArray, recording the pair as the vectors'
+// cause.
+func (d *Detail) analyzeArray(loop *ir.LoopSpec, array string, refs []ir.ArrayRef) error {
 	n := loop.NumDims()
-	var out []Vector
 	for a := 0; a < len(refs); a++ {
 		// The pair (a, a) matters too: the same static reference
 		// executed by two different iterations can touch the same
@@ -54,17 +118,8 @@ func analyzeArray(loop *ir.LoopSpec, array string, refs []ir.ArrayRef) ([]Vector
 			if !ra.IsWrite && !rb.IsWrite {
 				continue
 			}
-			// Write-write dependences may be ignored for unordered
-			// loops *only if* updates commute; Orion requires the
-			// loop to be declared unordered for this (Algorithm 2's
-			// unordered_loop test). Note a ref that is both read and
-			// written appears as two entries in Refs, so this skip
-			// is safe for pure write-write pairs.
-			if !loop.Ordered && ra.IsWrite && rb.IsWrite {
-				continue
-			}
 			if len(ra.Subs) != len(rb.Subs) {
-				return nil, fmt.Errorf("dep: loop %q: references %s and %s to array %q have different arities",
+				return fmt.Errorf("dep: loop %q: references %s and %s to array %q have different arities",
 					loop.Name, ra, rb, array)
 			}
 			vec, independent := pairVector(n, ra, rb)
@@ -74,10 +129,27 @@ func analyzeArray(loop *ir.LoopSpec, array string, refs []ir.ArrayRef) ([]Vector
 			// Self-pair with all-equal single-index subscripts is the
 			// same iteration touching its own element — not
 			// loop-carried unless some dimension is unconstrained.
-			out = append(out, vec.LexPositive()...)
+			lex := vec.LexPositive()
+			if len(lex) == 0 {
+				continue
+			}
+			// Write-write dependences may be ignored for unordered
+			// loops *only if* updates commute; Orion requires the
+			// loop to be declared unordered for this (Algorithm 2's
+			// unordered_loop test). Note a ref that is both read and
+			// written appears as two entries in Refs, so this skip
+			// is safe for pure write-write pairs. The skipped pair is
+			// recorded so diagnostics can surface the commutativity
+			// assumption.
+			if !loop.Ordered && ra.IsWrite && rb.IsWrite {
+				d.Commute = append(d.Commute, Cause{Array: array, A: ra, B: rb, Vecs: lex})
+				continue
+			}
+			d.Set.AddAll(lex)
+			d.Causes = append(d.Causes, Cause{Array: array, A: ra, B: rb, Vecs: lex})
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // pairVector refines the conservative all-∞ vector using each subscript

@@ -20,10 +20,14 @@ package driver
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
+	"orion/internal/check"
 	"orion/internal/dep"
+	"orion/internal/diag"
 	"orion/internal/dslkernel"
 	"orion/internal/dsm"
 	"orion/internal/ir"
@@ -46,6 +50,8 @@ type Session struct {
 	loopSeq atomic.Int64
 	mu      sync.Mutex
 	closed  bool
+
+	lastDiags diag.List
 }
 
 var sessionSeq atomic.Int64
@@ -161,31 +167,43 @@ func Passes(n int) Option { return func(o *pfOpts) { o.passes = n } }
 // Ordered requires lexicographic iteration order.
 func Ordered() Option { return func(o *pfOpts) { o.ordered = true } }
 
-// PlanOf runs only the static pipeline — parse, analyze, dependence
-// vectors, plan — without executing; useful for inspection.
-func (s *Session) PlanOf(src string) (*ir.LoopSpec, *dep.Set, *sched.Plan, error) {
+// vet runs the static diagnostics engine over loop source, recording
+// the full diagnostic list on the session (Diagnostics).
+func (s *Session) vet(src string) (*check.Result, error) {
 	loop, err := lang.Parse(src)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	spec, err := lang.Analyze(loop, s.env)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	deps, err := dep.Analyze(spec)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	opts := sched.DefaultOptions()
-	opts.ArrayBytes = map[string]int64{}
+	sopts := sched.DefaultOptions()
+	sopts.ArrayBytes = map[string]int64{}
 	for name, a := range s.arrays {
-		opts.ArrayBytes[name] = int64(a.Len()) * 8
+		sopts.ArrayBytes[name] = int64(a.Len()) * 8
 	}
-	plan, err := sched.NewFromDeps(spec, deps, opts)
-	if err != nil {
+	globals := make([]string, 0, len(s.globals))
+	for g := range s.globals {
+		globals = append(globals, g)
+	}
+	sort.Strings(globals)
+	res := check.Run(loop, s.env, check.Options{Globals: globals, Sched: sopts})
+	s.lastDiags = res.Diags
+	return res, res.Diags.Err()
+}
+
+// Diagnostics returns the full diagnostic list — including non-fatal
+// warnings such as assumed-commutativity notes — from the most recent
+// ParallelFor or PlanOf call.
+func (s *Session) Diagnostics() diag.List { return s.lastDiags }
+
+// PlanOf runs only the static pipeline — parse, analyze, dependence
+// vectors, plan — without executing; useful for inspection. Unlike
+// ParallelFor it succeeds on a not-parallelizable loop (the verdict IS
+// the result); it errors only when planning could not finish.
+func (s *Session) PlanOf(src string) (*ir.LoopSpec, *dep.Set, *sched.Plan, error) {
+	res, err := s.vet(src)
+	if err != nil && (res == nil || res.Plan == nil) {
 		return nil, nil, nil, err
 	}
-	return spec, deps, plan, nil
+	return res.Spec, res.Deps(), res.Plan, nil
 }
 
 // ParallelFor is @parallel_for: it analyzes, plans, and executes the
@@ -196,31 +214,15 @@ func (s *Session) ParallelFor(src string, options ...Option) (*sched.Plan, error
 	for _, opt := range options {
 		opt(&o)
 	}
-	loop, err := lang.Parse(src)
-	if err != nil {
-		return nil, err
-	}
 	prevOrdered := s.env.Ordered
 	s.env.Ordered = o.ordered
 	defer func() { s.env.Ordered = prevOrdered }()
 
-	spec, err := lang.Analyze(loop, s.env)
-	if err != nil {
+	res, err := s.vet(src)
+	if err != nil && (res == nil || res.Plan == nil) {
 		return nil, err
 	}
-	deps, err := dep.Analyze(spec)
-	if err != nil {
-		return nil, err
-	}
-	opts := sched.DefaultOptions()
-	opts.ArrayBytes = map[string]int64{}
-	for name, a := range s.arrays {
-		opts.ArrayBytes[name] = int64(a.Len()) * 8
-	}
-	plan, err := sched.NewFromDeps(spec, deps, opts)
-	if err != nil {
-		return nil, err
-	}
+	loop, spec, plan := res.Loop, res.Spec, res.Plan
 
 	// Every inherited (read-only driver) variable must have a value —
 	// catching this here gives a clear error instead of a worker-side
@@ -246,10 +248,34 @@ func (s *Session) ParallelFor(src string, options ...Option) (*sched.Plan, error
 	case sched.OneD, sched.Independent:
 		return plan, s.runOneD(loop, spec, plan, o.passes)
 	case sched.TwoDTransformed:
-		return plan, fmt.Errorf("driver: transformed loops are not supported by the distributed runtime (use the engine simulator)")
+		return plan, fmt.Errorf("driver: transformed loops are not supported by the distributed runtime: %s (use the engine simulator)",
+			blockingEvidence(res))
 	default:
-		return plan, fmt.Errorf("driver: loop is not parallelizable; route writes through a DistArray Buffer for data parallelism")
+		return plan, fmt.Errorf("driver: loop is not parallelizable: %s; route the conflicting writes through a DistArray Buffer for data parallelism, or run serially",
+			blockingEvidence(res))
 	}
+}
+
+// blockingEvidence names the dependence vectors and array references
+// that forced the strategy — the "why" for a refused ParallelFor.
+func blockingEvidence(res *check.Result) string {
+	if res.Detail == nil || len(res.Detail.Causes) == 0 {
+		var vecs []string
+		if d := res.Deps(); d != nil {
+			for _, v := range d.Vectors() {
+				vecs = append(vecs, v.String())
+			}
+		}
+		if len(vecs) == 0 {
+			return "no single dependence witness available"
+		}
+		return "blocking dependence vectors " + strings.Join(vecs, ", ")
+	}
+	parts := make([]string, 0, len(res.Detail.Causes))
+	for _, c := range res.Detail.Causes {
+		parts = append(parts, c.String())
+	}
+	return strings.Join(parts, "; ")
 }
 
 // Accumulate aggregates a loop-body accumulator across executors with +.

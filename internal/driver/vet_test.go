@@ -1,0 +1,87 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"orion/internal/diag"
+)
+
+// TestParallelForErrorNamesEvidence: a refused ParallelFor must say
+// WHY — the blocking dependence vector and the conflicting array
+// references with their source positions — not just "no".
+func TestParallelForErrorNamesEvidence(t *testing.T) {
+	sess, err := NewLocalSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.CreateArray("v", false, 16)
+	sess.CreateArray("A", true, 16)
+	src := `
+for (key, x) in v
+    A[key[1]] = A[key[1] - 1] + x
+end
+`
+	_, err = sess.ParallelFor(src, Ordered())
+	if err == nil {
+		t.Fatal("expected a not-parallelizable error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"not parallelizable",
+		"(1)",                // the blocking dependence vector
+		"A[key[1]] (write)",  // the conflicting write
+		"A[key[1]-1] (read)", // ... and read
+		"line 3",             // with positions
+		"DistArray Buffer",   // and the suggested fix
+	} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestParallelForTransformedErrorNamesEvidence: the transformed-loop
+// refusal must carry the dependence evidence too.
+func TestParallelForTransformedErrorNamesEvidence(t *testing.T) {
+	sess, err := NewLocalSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.CreateArray("grid", false, 8, 8)
+	sess.CreateArray("A", true, 8, 8)
+	src := `
+for (key, x) in grid
+    A[key[1], key[2]] = A[key[1], key[2] - 1] + A[key[1] - 1, key[2] + 1]
+end
+`
+	_, err = sess.ParallelFor(src, Ordered())
+	if err == nil {
+		t.Fatal("expected a transformed-loops-unsupported error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"not supported", "A[key[1], key[2]] (write)", "distance"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestSessionDiagnostics: warnings from the diagnostics engine are
+// retrievable from the session after a successful ParallelFor.
+func TestSessionDiagnostics(t *testing.T) {
+	sess := setupMF(t, 2)
+	defer sess.Close()
+	if _, err := sess.ParallelFor(mfSrc); err != nil {
+		t.Fatal(err)
+	}
+	diags := sess.Diagnostics()
+	if diags.HasErrors() {
+		t.Fatalf("successful run must not record error diagnostics: %v", diags)
+	}
+	if diags.First(diag.CodeCommuteAssumed) == nil {
+		t.Fatalf("MF run should record the assumed-commutativity warning, got %v", diags)
+	}
+}

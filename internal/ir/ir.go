@@ -111,6 +111,21 @@ type ArrayRef struct {
 	// DistArrayBuffer (Section 3.3): it is exempt from dependence
 	// analysis.
 	Buffered bool
+	// Line and Col locate the reference in the DSL source (1-based;
+	// zero when the spec was constructed programmatically). They are
+	// carried so dependence analysis and the diagnostics engine can
+	// cite the offending references; String() and reference identity
+	// ignore them.
+	Line, Col int
+}
+
+// Pos renders the reference's source position ("line 7:5"), or "" when
+// unknown.
+func (r ArrayRef) Pos() string {
+	if r.Line <= 0 {
+		return ""
+	}
+	return fmt.Sprintf("line %d:%d", r.Line, r.Col)
 }
 
 func (r ArrayRef) String() string {

@@ -1,9 +1,10 @@
 package lang
 
 import (
-	"fmt"
 	"sort"
+	"strings"
 
+	"orion/internal/diag"
 	"orion/internal/ir"
 )
 
@@ -29,56 +30,120 @@ var builtins = map[string]bool{
 	"length": true, "sigmoid": true, "zeros": true, "rand": true, "__record": true,
 }
 
+// builtinNames returns the builtin function names, sorted, for fix
+// notes.
+func builtinNames() string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		if n == "__record" {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 // Analyze statically extracts the loop information record (Fig. 6) from
 // the parsed loop: iteration space, DistArray references with
-// classified subscripts, and inherited variables.
+// classified subscripts, and inherited variables. On failure the error
+// carries the first diagnostic's source position, code, and fix note;
+// use AnalyzeDiags to obtain the full structured list.
 func Analyze(loop *Loop, env *Env) (*ir.LoopSpec, error) {
-	dims, ok := env.Arrays[loop.IterVar]
-	if !ok {
-		return nil, fmt.Errorf("lang: iteration space %q is not a known DistArray", loop.IterVar)
+	spec, diags := AnalyzeDiags(loop, env, "")
+	if err := diags.Err(); err != nil {
+		return nil, err
 	}
-	a := &analyzer{loop: loop, env: env}
+	return spec, nil
+}
+
+// AnalyzeDiags is Analyze with structured diagnostics: every hard error
+// is emitted as a positioned diag.Diagnostic (code ORN01x) and the walk
+// continues past errors so one run reports as many problems as
+// possible. The spec is non-nil only when no errors were found. file
+// names the source in diagnostic positions (may be empty).
+func AnalyzeDiags(loop *Loop, env *Env, file string) (*ir.LoopSpec, diag.List) {
+	a := &analyzer{loop: loop, env: env, file: file}
+	dims, iterKnown := env.Arrays[loop.IterVar]
+	if !iterKnown {
+		a.errorf(diag.CodeUnknownIter, loop.IterPos,
+			"declare the array with CreateArray (or an 'array' line in the program preamble) before the loop",
+			"iteration space %q is not a known DistArray", loop.IterVar)
+	}
 	spec := &ir.LoopSpec{
 		Name:           loop.IterVar + "_loop",
 		IterSpaceArray: loop.IterVar,
 		Dims:           append([]int64(nil), dims...),
 		Ordered:        env.Ordered,
 	}
-	if err := a.stmts(loop.Body); err != nil {
-		return nil, err
-	}
+	a.stmts(loop.Body)
 	spec.Refs = a.refs
 	spec.Inherited = a.inherited()
-	if err := spec.Validate(); err != nil {
-		return nil, err
+	if !a.diags.HasErrors() {
+		a.validateSpec(spec)
 	}
-	return spec, nil
+	if a.diags.HasErrors() {
+		return nil, a.diags
+	}
+	return spec, a.diags
 }
 
 type analyzer struct {
 	loop      *Loop
 	env       *Env
+	file      string
+	diags     diag.List
 	refs      []ir.ArrayRef
 	assigned  map[string]bool
 	used      map[string]bool
 	rangeVars map[string]bool
 }
 
-func (a *analyzer) stmts(body []Stmt) error {
-	for _, st := range body {
-		if err := a.stmt(st); err != nil {
-			return err
-		}
-	}
-	return nil
+func (a *analyzer) pos(p Pos) diag.Pos {
+	return diag.Pos{File: a.file, Line: p.Line, Col: p.Col}
 }
 
-func (a *analyzer) stmt(st Stmt) error {
+func (a *analyzer) errorf(code string, p Pos, note, format string, args ...any) {
+	a.diags.Add(diag.Errorf(code, a.pos(p), note, format, args...))
+}
+
+// validateSpec re-runs ir.LoopSpec.Validate's checks with source
+// positions where the analyzer has them (subscript dimension bounds),
+// falling back to the structural validator for the rest.
+func (a *analyzer) validateSpec(spec *ir.LoopSpec) {
+	bad := false
+	for _, r := range spec.Refs {
+		for i, s := range r.Subs {
+			if s.Kind == ir.SubIndex && (s.Dim < 0 || s.Dim >= len(spec.Dims)) {
+				bad = true
+				a.errorf(diag.CodeDimRange, Pos{Line: r.Line, Col: r.Col},
+					"the loop key has one entry per iteration-space dimension; use key[1].."+
+						"key[n] where n is the iteration array's rank",
+					"reference %s subscript %d uses loop index key[%d], but the iteration space %q has only %d dimension(s)",
+					r, i+1, s.Dim+1, spec.IterSpaceArray, len(spec.Dims))
+			}
+		}
+	}
+	if bad {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		a.errorf(diag.CodeBadSpec, a.loop.At,
+			"the extracted loop information record is structurally invalid; check the array declarations",
+			"%v", err)
+	}
+}
+
+func (a *analyzer) stmts(body []Stmt) {
+	for _, st := range body {
+		a.stmt(st)
+	}
+}
+
+func (a *analyzer) stmt(st Stmt) {
 	switch s := st.(type) {
 	case *Assign:
-		if err := a.expr(s.Value); err != nil {
-			return err
-		}
+		a.expr(s.Value)
 		switch t := s.Target.(type) {
 		case *Ident:
 			if a.assigned == nil {
@@ -92,18 +157,19 @@ func (a *analyzer) stmt(st Stmt) error {
 		case *Index:
 			// Subscript expressions are evaluated (reads).
 			for _, sub := range t.Subs {
-				if err := a.expr(sub); err != nil {
-					return err
-				}
+				a.expr(sub)
 			}
 			if a.assigned[t.Base] {
 				// Element write into a body-local vector (e.g. p[k] = x
 				// after p = zeros(K)): not a DistArray reference.
-				return nil
+				return
 			}
 			array, buffered, known := a.resolveArray(t.Base)
 			if !known {
-				return fmt.Errorf("lang: assignment to subscripted %q, which is neither a DistArray nor a buffer", t.Base)
+				a.errorf(diag.CodeBadWriteTarget, t.At,
+					"declare it with CreateArray, or create a DistArrayBuffer over the target array and write through that",
+					"assignment to subscripted %q, which is neither a DistArray nor a buffer", t.Base)
+				return
 			}
 			if s.Op != "=" && !buffered {
 				// Compound assignment also reads the element.
@@ -111,24 +177,17 @@ func (a *analyzer) stmt(st Stmt) error {
 			}
 			a.addRef(array, t, true, buffered)
 		default:
-			return fmt.Errorf("lang: bad assignment target %s", s.Target)
+			a.errorf(diag.CodeBadAssign, s.At,
+				"only driver variables (x = ...) and DistArray elements (A[...] = ...) can be assigned",
+				"cannot assign to %s", s.Target)
 		}
-		return nil
 	case *If:
-		if err := a.expr(s.Cond); err != nil {
-			return err
-		}
-		if err := a.stmts(s.Then); err != nil {
-			return err
-		}
-		return a.stmts(s.Else)
+		a.expr(s.Cond)
+		a.stmts(s.Then)
+		a.stmts(s.Else)
 	case *ForRange:
-		if err := a.expr(s.Lo); err != nil {
-			return err
-		}
-		if err := a.expr(s.Hi); err != nil {
-			return err
-		}
+		a.expr(s.Lo)
+		a.expr(s.Hi)
 		if a.assigned == nil {
 			a.assigned = make(map[string]bool)
 		}
@@ -137,66 +196,63 @@ func (a *analyzer) stmt(st Stmt) error {
 		}
 		a.assigned[s.Var] = true
 		a.rangeVars[s.Var] = true
-		return a.stmts(s.Body)
+		a.stmts(s.Body)
 	case *ExprStmt:
-		return a.expr(s.X)
+		a.expr(s.X)
 	default:
-		return fmt.Errorf("lang: unknown statement %T", st)
+		a.errorf(diag.CodeBadSpec, NodePos(st), "this statement form is not supported in loop bodies", "unknown statement %T", st)
 	}
 }
 
-func (a *analyzer) expr(e Expr) error {
+func (a *analyzer) expr(e Expr) {
 	switch x := e.(type) {
 	case *Num, *Bool:
-		return nil
 	case *Ident:
 		a.use(x.Name)
-		return nil
 	case *UnOp:
-		return a.expr(x.X)
+		a.expr(x.X)
 	case *BinOp:
-		if err := a.expr(x.L); err != nil {
-			return err
-		}
-		return a.expr(x.R)
+		a.expr(x.L)
+		a.expr(x.R)
 	case *Call:
 		if !builtins[x.Fn] {
-			return fmt.Errorf("lang: unknown function %q", x.Fn)
+			a.errorf(diag.CodeUnknownFn, x.At,
+				"loop bodies may only call the interpreter builtins: "+builtinNames(),
+				"unknown function %q", x.Fn)
 		}
 		for _, arg := range x.Args {
-			if err := a.expr(arg); err != nil {
-				return err
-			}
+			a.expr(arg)
 		}
-		return nil
 	case *RangeExpr:
 		if x.Full {
-			return nil
+			return
 		}
-		if err := a.expr(x.Lo); err != nil {
-			return err
-		}
-		return a.expr(x.Hi)
+		a.expr(x.Lo)
+		a.expr(x.Hi)
 	case *Index:
 		for _, sub := range x.Subs {
-			if err := a.expr(sub); err != nil {
-				return err
-			}
+			a.expr(sub)
 		}
 		if x.Base == a.loop.KeyVar || a.assigned[x.Base] {
-			return nil // key tuple or body-local vector access
+			return // key tuple or body-local vector access
 		}
 		array, buffered, known := a.resolveArray(x.Base)
 		if !known {
-			return fmt.Errorf("lang: subscripted %q is neither a DistArray, a buffer, nor the loop key", x.Base)
+			a.errorf(diag.CodeUnknownSub, x.At,
+				"declare it with CreateArray, or spell the loop key variable correctly",
+				"subscripted %q is neither a DistArray, a buffer, nor the loop key", x.Base)
+			return
 		}
 		if buffered {
-			return fmt.Errorf("lang: DistArray Buffer %q is write-only in the loop body", x.Base)
+			a.errorf(diag.CodeBufferRead, x.At,
+				"DistArray Buffers apply their writes after the loop (Section 3.3); read the backing array "+
+					array+" instead",
+				"DistArray Buffer %q is write-only in the loop body", x.Base)
+			return
 		}
 		a.addRef(array, x, false, false)
-		return nil
 	default:
-		return fmt.Errorf("lang: unknown expression %T", e)
+		a.errorf(diag.CodeBadSpec, NodePos(e), "this expression form is not supported in loop bodies", "unknown expression %T", e)
 	}
 }
 
@@ -231,7 +287,8 @@ func (a *analyzer) addRef(array string, idx *Index, isWrite, buffered bool) {
 	for i, sub := range idx.Subs {
 		subs[i] = a.classify(sub)
 	}
-	ref := ir.ArrayRef{Array: array, Subs: subs, IsWrite: isWrite, Buffered: buffered}
+	ref := ir.ArrayRef{Array: array, Subs: subs, IsWrite: isWrite, Buffered: buffered,
+		Line: idx.At.Line, Col: idx.At.Col}
 	// Deduplicate identical static references: the same textual access
 	// appearing twice yields one static reference.
 	for _, r := range a.refs {

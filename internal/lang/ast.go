@@ -12,27 +12,36 @@ type Expr interface {
 }
 
 // Num is a numeric literal.
-type Num struct{ Val float64 }
+type Num struct {
+	Val float64
+	At  Pos
+}
 
 // Ident is a variable reference.
-type Ident struct{ Name string }
+type Ident struct {
+	Name string
+	At   Pos
+}
 
 // BinOp is a binary operation: + - * / ^ == != < <= > >=.
 type BinOp struct {
 	Op   string
 	L, R Expr
+	At   Pos // position of the operator
 }
 
 // UnOp is unary negation.
 type UnOp struct {
 	Op string
 	X  Expr
+	At Pos
 }
 
 // Call is a builtin function call.
 type Call struct {
 	Fn   string
 	Args []Expr
+	At   Pos // position of the function name
 }
 
 // Index is a subscripted access base[subs...]; base is an identifier
@@ -40,16 +49,21 @@ type Call struct {
 type Index struct {
 	Base string
 	Subs []Expr
+	At   Pos // position of the base identifier
 }
 
 // RangeExpr is lo:hi inside a subscript; Full marks a bare ':'.
 type RangeExpr struct {
 	Lo, Hi Expr
 	Full   bool
+	At     Pos
 }
 
 // Bool is a boolean literal.
-type Bool struct{ Val bool }
+type Bool struct {
+	Val bool
+	At  Pos
+}
 
 func (*Num) exprNode()       {}
 func (*Ident) exprNode()     {}
@@ -111,6 +125,7 @@ type Assign struct {
 	Target Expr
 	Op     string
 	Value  Expr
+	At     Pos // position of the assignment target
 }
 
 // If is a conditional with optional else body.
@@ -118,6 +133,7 @@ type If struct {
 	Cond Expr
 	Then []Stmt
 	Else []Stmt
+	At   Pos // position of the 'if' keyword
 }
 
 // ForRange is an inner sequential loop: for v = lo:hi ... end.
@@ -128,10 +144,14 @@ type ForRange struct {
 	Var    string
 	Lo, Hi Expr
 	Body   []Stmt
+	At     Pos // position of the 'for' keyword
 }
 
 // ExprStmt evaluates an expression for effect (rare; calls).
-type ExprStmt struct{ X Expr }
+type ExprStmt struct {
+	X  Expr
+	At Pos
+}
 
 func (*Assign) stmtNode()   {}
 func (*If) stmtNode()       {}
@@ -178,6 +198,8 @@ type Loop struct {
 	ValVar  string // element-value variable ("" if omitted)
 	IterVar string // the DistArray iterated over
 	Body    []Stmt
+	At      Pos // position of the 'for' keyword
+	IterPos Pos // position of the iteration-space array name
 }
 
 func (l *Loop) String() string {

@@ -6,9 +6,14 @@ import (
 )
 
 // Parse parses a full parallel for-loop program (the text a programmer
-// would put under @parallel_for).
-func Parse(src string) (*Loop, error) {
-	toks, err := Lex(src)
+// would put under @parallel_for). Errors are *SyntaxError values
+// carrying the offending source position.
+func Parse(src string) (*Loop, error) { return ParseAt(src, 1) }
+
+// ParseAt parses loop source whose first line is numbered startLine, so
+// AST positions cite lines of the enclosing program file.
+func ParseAt(src string, startLine int) (*Loop, error) {
+	toks, err := LexAt(src, startLine)
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +39,7 @@ func (p *parser) peek() Token { return p.toks[p.pos] }
 func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
 func (p *parser) errf(format string, args ...any) error {
 	t := p.peek()
-	return fmt.Errorf("lang: line %d: %s", t.Line, fmt.Sprintf(format, args...))
+	return &SyntaxError{Pos: Pos{Line: t.Line, Col: t.Col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) skipNewlines() {
@@ -61,10 +66,11 @@ func (p *parser) expect(k TokKind) (Token, error) {
 }
 
 func (p *parser) parseLoop() (*Loop, error) {
+	forTok := p.peek()
 	if err := p.expectKeyword("for"); err != nil {
 		return nil, err
 	}
-	loop := &Loop{}
+	loop := &Loop{At: Pos{Line: forTok.Line, Col: forTok.Col}}
 	if p.peek().Kind == TokLParen {
 		p.next()
 		key, err := p.expect(TokIdent)
@@ -98,6 +104,7 @@ func (p *parser) parseLoop() (*Loop, error) {
 		return nil, err
 	}
 	loop.IterVar = iter.Text
+	loop.IterPos = Pos{Line: iter.Line, Col: iter.Col}
 	if _, err := p.expect(TokNewline); err != nil {
 		return nil, err
 	}
@@ -161,15 +168,16 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if _, err := p.expect(TokNewline); err != nil {
 			return nil, err
 		}
-		return &Assign{Target: lhs, Op: op.Text, Value: rhs}, nil
+		return &Assign{Target: lhs, Op: op.Text, Value: rhs, At: NodePos(lhs)}, nil
 	}
 	if _, err := p.expect(TokNewline); err != nil {
 		return nil, err
 	}
-	return &ExprStmt{X: lhs}, nil
+	return &ExprStmt{X: lhs, At: NodePos(lhs)}, nil
 }
 
 func (p *parser) parseIf() (Stmt, error) {
+	ifTok := p.peek()
 	if err := p.expectKeyword("if"); err != nil {
 		return nil, err
 	}
@@ -184,7 +192,7 @@ func (p *parser) parseIf() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	node := &If{Cond: cond, Then: then}
+	node := &If{Cond: cond, Then: then, At: Pos{Line: ifTok.Line, Col: ifTok.Col}}
 	t := p.peek()
 	switch {
 	case t.Kind == TokKeyword && t.Text == "else":
@@ -220,6 +228,7 @@ func (p *parser) parseIf() (Stmt, error) {
 
 // parseForRange parses an inner sequential loop: for v = lo:hi ... end.
 func (p *parser) parseForRange() (Stmt, error) {
+	forTok := p.peek()
 	if err := p.expectKeyword("for"); err != nil {
 		return nil, err
 	}
@@ -253,7 +262,7 @@ func (p *parser) parseForRange() (Stmt, error) {
 	if err := p.expectKeyword("end"); err != nil {
 		return nil, err
 	}
-	return &ForRange{Var: v.Text, Lo: lo, Hi: hi, Body: body}, nil
+	return &ForRange{Var: v.Text, Lo: lo, Hi: hi, Body: body, At: Pos{Line: forTok.Line, Col: forTok.Col}}, nil
 }
 
 // Precedence climbing: comparison < additive < multiplicative < unary <
@@ -277,7 +286,7 @@ func (p *parser) parseComparison() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &BinOp{Op: t.Text, L: l, R: r}
+			l = &BinOp{Op: t.Text, L: l, R: r, At: Pos{Line: t.Line, Col: t.Col}}
 		default:
 			return l, nil
 		}
@@ -297,7 +306,7 @@ func (p *parser) parseAdditive() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &BinOp{Op: t.Text, L: l, R: r}
+			l = &BinOp{Op: t.Text, L: l, R: r, At: Pos{Line: t.Line, Col: t.Col}}
 			continue
 		}
 		return l, nil
@@ -317,7 +326,7 @@ func (p *parser) parseMultiplicative() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &BinOp{Op: t.Text, L: l, R: r}
+			l = &BinOp{Op: t.Text, L: l, R: r, At: Pos{Line: t.Line, Col: t.Col}}
 			continue
 		}
 		return l, nil
@@ -332,7 +341,7 @@ func (p *parser) parseUnary() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &UnOp{Op: "-", X: x}, nil
+		return &UnOp{Op: "-", X: x, At: Pos{Line: t.Line, Col: t.Col}}, nil
 	}
 	return p.parsePower()
 }
@@ -349,7 +358,7 @@ func (p *parser) parsePower() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BinOp{Op: "^", L: l, R: r}, nil
+		return &BinOp{Op: "^", L: l, R: r, At: Pos{Line: t.Line, Col: t.Col}}, nil
 	}
 	return l, nil
 }
@@ -381,15 +390,15 @@ func (p *parser) parsePostfix() (Expr, error) {
 		if _, err := p.expect(TokRBracket); err != nil {
 			return nil, err
 		}
-		x = &Index{Base: base.Name, Subs: subs}
+		x = &Index{Base: base.Name, Subs: subs, At: base.At}
 	}
 	return x, nil
 }
 
 func (p *parser) parseSubscript() (Expr, error) {
-	if p.peek().Kind == TokColon {
+	if t := p.peek(); t.Kind == TokColon {
 		p.next()
-		return &RangeExpr{Full: true}, nil
+		return &RangeExpr{Full: true, At: Pos{Line: t.Line, Col: t.Col}}, nil
 	}
 	lo, err := p.parseAdditive()
 	if err != nil {
@@ -401,7 +410,7 @@ func (p *parser) parseSubscript() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &RangeExpr{Lo: lo, Hi: hi}, nil
+		return &RangeExpr{Lo: lo, Hi: hi, At: NodePos(lo)}, nil
 	}
 	return lo, nil
 }
@@ -415,11 +424,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if err != nil {
 			return nil, p.errf("bad number %q", t.Text)
 		}
-		return &Num{Val: v}, nil
+		return &Num{Val: v, At: Pos{Line: t.Line, Col: t.Col}}, nil
 	case TokKeyword:
 		if t.Text == "true" || t.Text == "false" {
 			p.next()
-			return &Bool{Val: t.Text == "true"}, nil
+			return &Bool{Val: t.Text == "true", At: Pos{Line: t.Line, Col: t.Col}}, nil
 		}
 		return nil, p.errf("unexpected keyword %q in expression", t.Text)
 	case TokIdent:
@@ -444,9 +453,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if _, err := p.expect(TokRParen); err != nil {
 				return nil, err
 			}
-			return &Call{Fn: t.Text, Args: args}, nil
+			return &Call{Fn: t.Text, Args: args, At: Pos{Line: t.Line, Col: t.Col}}, nil
 		}
-		return &Ident{Name: t.Text}, nil
+		return &Ident{Name: t.Text, At: Pos{Line: t.Line, Col: t.Col}}, nil
 	case TokLParen:
 		p.next()
 		x, err := p.parseExpr()

@@ -1,0 +1,77 @@
+package lang
+
+import "fmt"
+
+// Pos is a source position within a DSL program: 1-based line and
+// column. The zero Pos marks synthesized nodes (e.g. ASTs built
+// programmatically or by the prefetch slicer).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position refers to real source text.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// NodePos returns the source position of an AST node (expression or
+// statement); synthesized nodes yield the zero Pos.
+func NodePos(n any) Pos {
+	switch x := n.(type) {
+	case *Num:
+		return x.At
+	case *Ident:
+		return x.At
+	case *BinOp:
+		return x.At
+	case *UnOp:
+		return x.At
+	case *Call:
+		return x.At
+	case *Index:
+		return x.At
+	case *RangeExpr:
+		return x.At
+	case *Bool:
+		return x.At
+	case *Assign:
+		return x.At
+	case *If:
+		return x.At
+	case *ForRange:
+		return x.At
+	case *ExprStmt:
+		return x.At
+	case *Loop:
+		return x.At
+	default:
+		return Pos{}
+	}
+}
+
+// SyntaxError is a positioned lexical or syntax error from Lex/Parse.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("lang: line %d col %d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// PreambleError is a malformed declaration in a program-file preamble
+// (the `array`/`buffer`/`global`/`ordered` block before `---`).
+type PreambleError struct {
+	Line int
+	Msg  string
+}
+
+func (e *PreambleError) Error() string {
+	return fmt.Sprintf("lang: preamble line %d: %s", e.Line, e.Msg)
+}

@@ -1,0 +1,148 @@
+package lang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"orion/internal/diag"
+)
+
+// Regression tests pinning line/column information in analyzer and
+// parser errors: diagnostics must cite where the problem is, not just
+// what it is.
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		src        string
+		line, col  int
+		msgSnippet string
+	}{
+		{"for (key, v) in data\n    x = = 3\nend\n", 2, 9, "unexpected"},
+		{"for key, v) in data\nend\n", 1, 5, "expected"},
+		{"for (key, v) in data\n    y = 3 +\nend\n", 2, 12, "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded, want error", c.src)
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Fatalf("Parse(%q) error %T is not *SyntaxError: %v", c.src, err, err)
+		}
+		if se.Pos.Line != c.line {
+			t.Fatalf("Parse(%q) error at line %d, want %d (%v)", c.src, se.Pos.Line, c.line, err)
+		}
+		if !strings.Contains(se.Msg, c.msgSnippet) {
+			t.Fatalf("Parse(%q) error %q, want mention of %q", c.src, se.Msg, c.msgSnippet)
+		}
+	}
+}
+
+func TestAnalyzeDiagsCarryPositions(t *testing.T) {
+	env := &Env{Arrays: map[string][]int64{"data": {10, 10}, "A": {10, 10}}, Buffers: map[string]string{"buf": "A"}}
+	cases := []struct {
+		name      string
+		src       string
+		code      string
+		line, col int
+	}{
+		{"unknown function", "for (key, v) in data\n    x = mystery(v)\nend\n", diag.CodeUnknownFn, 2, 9},
+		{"unknown iteration space", "for (key, v) in nope\n    x = v\nend\n", diag.CodeUnknownIter, 1, 17},
+		{"unknown subscripted name", "for (key, v) in data\n    x = B[key[1], key[2]]\nend\n", diag.CodeUnknownSub, 2, 9},
+		{"buffer read", "for (key, v) in data\n    x = buf[key[1], key[2]]\nend\n", diag.CodeBufferRead, 2, 9},
+		{"dim out of range", "for (key, v) in data\n    A[key[3], key[1]] = v\nend\n", diag.CodeDimRange, 2, 5},
+	}
+	for _, c := range cases {
+		loop, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.name, err)
+		}
+		_, diags := AnalyzeDiags(loop, env, "t.orion")
+		d := diags.First(c.code)
+		if d == nil {
+			t.Fatalf("%s: no %s diagnostic; got %v", c.name, c.code, diags)
+		}
+		if d.Pos.Line != c.line || d.Pos.Col != c.col {
+			t.Fatalf("%s: %s at %d:%d, want %d:%d (%s)", c.name, c.code, d.Pos.Line, d.Pos.Col, c.line, c.col, d)
+		}
+		if d.Pos.File != "t.orion" {
+			t.Fatalf("%s: diagnostic file %q, want t.orion", c.name, d.Pos.File)
+		}
+		// The legacy error interface must fail too.
+		if _, err := Analyze(loop, env); err == nil {
+			t.Fatalf("%s: Analyze accepted a program AnalyzeDiags rejects", c.name)
+		}
+	}
+}
+
+// TestAnalyzeErrorMentionsLine pins the user-visible error string: a
+// rejected program's error must contain the offending line number.
+func TestAnalyzeErrorMentionsLine(t *testing.T) {
+	env := &Env{Arrays: map[string][]int64{"data": {10}}}
+	src := "for (key, v) in data\n    x = v\n    y = mystery(x)\nend\n"
+	loop, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Analyze(loop, env)
+	if err == nil {
+		t.Fatal("expected an unknown-function error")
+	}
+	if !strings.Contains(err.Error(), "3:") {
+		t.Fatalf("error %q does not cite line 3", err)
+	}
+	if !strings.Contains(err.Error(), "ORN013") {
+		t.Fatalf("error %q does not carry the stable code", err)
+	}
+}
+
+// TestProgramPositionsSpanPreamble: loop positions in a program file
+// must be whole-file line numbers (offset past the preamble).
+func TestProgramPositionsSpanPreamble(t *testing.T) {
+	src := `array data 10 10
+array A 10 10
+---
+for (key, v) in data
+    x = mystery(v)
+end
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.LoopLine != 3 {
+		t.Fatalf("LoopLine = %d, want 3", prog.LoopLine)
+	}
+	_, diags := AnalyzeDiags(prog.Loop, prog.Env, "p.orion")
+	d := diags.First(diag.CodeUnknownFn)
+	if d == nil {
+		t.Fatalf("no unknown-fn diagnostic: %v", diags)
+	}
+	if d.Pos.Line != 5 {
+		t.Fatalf("diagnostic at file line %d, want 5 (preamble offset)", d.Pos.Line)
+	}
+}
+
+func TestParseProgramPreambleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		line int
+	}{
+		{"array data\n---\nfor (key, v) in data\nend\n", 1},
+		{"array data 10\nbuffer b nope\n---\nfor (key, v) in data\nend\n", 2},
+		{"array data 10\nwhatever x\n---\nfor (key, v) in data\nend\n", 2},
+		{"array data 10\nfor (key, v) in data\nend\n", 1}, // no separator
+	}
+	for _, c := range cases {
+		_, err := ParseProgram(c.src)
+		var pe *PreambleError
+		if !errors.As(err, &pe) {
+			t.Fatalf("ParseProgram(%q) error %v, want *PreambleError", c.src, err)
+		}
+		if pe.Line != c.line {
+			t.Fatalf("ParseProgram(%q) error at line %d, want %d", c.src, pe.Line, c.line)
+		}
+	}
+}

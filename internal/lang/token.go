@@ -92,10 +92,19 @@ var keywords = map[string]bool{
 }
 
 // Lex tokenizes source text. Comments run from '#' to end of line.
-// Newlines are significant (statement terminators).
-func Lex(src string) ([]Token, error) {
+// Newlines are significant (statement terminators). Errors are
+// *SyntaxError values carrying the offending position.
+func Lex(src string) ([]Token, error) { return LexAt(src, 1) }
+
+// LexAt tokenizes source text whose first line is numbered startLine —
+// used when the loop source is embedded in a larger program file so
+// token positions cite lines of the whole file.
+func LexAt(src string, startLine int) ([]Token, error) {
 	var toks []Token
-	line, col := 1, 1
+	line, col := startLine, 1
+	if startLine < 1 {
+		line = 1
+	}
 	i := 0
 	emit := func(k TokKind, text string) {
 		toks = append(toks, Token{Kind: k, Text: text, Line: line, Col: col})
@@ -146,7 +155,7 @@ func Lex(src string) ([]Token, error) {
 				i++
 			}
 			if op == "!" {
-				return nil, fmt.Errorf("lang: line %d: unexpected '!'", line)
+				return nil, &SyntaxError{Pos: Pos{Line: line, Col: col}, Msg: "unexpected '!'"}
 			}
 			emit(TokOp, op)
 			i++
@@ -188,7 +197,7 @@ func Lex(src string) ([]Token, error) {
 				emit(TokIdent, word)
 			}
 		default:
-			return nil, fmt.Errorf("lang: line %d col %d: unexpected character %q", line, col, string(c))
+			return nil, &SyntaxError{Pos: Pos{Line: line, Col: col}, Msg: fmt.Sprintf("unexpected character %q", string(c))}
 		}
 		col += len(toks[len(toks)-1].Text)
 	}
