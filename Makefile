@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race vet-examples fuzz
+.PHONY: check fmt vet build test race bench-smoke vet-examples fuzz bench-baseline
 
-check: fmt vet build test race
+check: fmt vet build test race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -28,6 +28,16 @@ test:
 # detector.
 race:
 	$(GO) test -race ./internal/runtime ./internal/driver ./internal/engine
+
+# One iteration of every benchmark — catches bit-rotted benchmark code
+# without paying for real measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x \
+		./internal/lang ./internal/dsm ./internal/runtime
+
+# Regenerate the committed interp-vs-compiled kernel baseline.
+bench-baseline:
+	ORION_BENCH_BASELINE=1 $(GO) test ./internal/lang -run TestWriteBenchBaseline -v
 
 # Vet every shipped example program; unsafe.orion is expected to fail.
 vet-examples:

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"orion/internal/data"
+	"orion/internal/diag"
+	"orion/internal/driver"
+)
+
+// DSL renditions of the three parameter-server applications (the same
+// loop bodies shipped in examples/). No Go kernels: the driver
+// analyzes, plans, and ships each body to the executors, which run it
+// on the selected backend.
+const (
+	mfDSL = `
+for (key, rv) in ratings
+    W_row = W[:, key[1]]
+    H_row = H[:, key[2]]
+    pred = dot(W_row, H_row)
+    diff = rv - pred
+    W_grad = -2 * diff * H_row
+    H_grad = -2 * diff * W_row
+    W[:, key[1]] = W_row - step_size * W_grad
+    H[:, key[2]] = H_row - step_size * H_grad
+    err += abs2(diff)
+end
+`
+	ldaDSL = `
+for (key, occ) in tokens
+    zi = z[key[1], key[2]]
+    doc_topic[zi, key[1]] -= 1
+    word_topic[zi, key[2]] -= 1
+    tot_buf[zi] -= 1
+
+    p = zeros(K)
+    total = 0
+    for k = 1:K
+        nd = max(doc_topic[k, key[1]], 0)
+        nw = max(word_topic[k, key[2]], 0)
+        nt = max(totals[k], 1)
+        p[k] = (nd + alpha) * (nw + beta) / (nt + vbeta)
+        total = total + p[k]
+    end
+
+    u = rand() * total
+    chosen = 0
+    acc = 0
+    for k = 1:K
+        acc = acc + p[k]
+        if chosen == 0
+            if u <= acc
+                chosen = k
+            end
+        end
+    end
+    if chosen == 0
+        chosen = K
+    end
+
+    doc_topic[chosen, key[1]] += 1
+    word_topic[chosen, key[2]] += 1
+    tot_buf[chosen] += 1
+    z[key[1], key[2]] = chosen
+end
+`
+	slrDSL = `
+for (key, v) in samples
+    idx = floor(v * 100) + 1
+    w = weights[idx]
+    margin = w * v
+    g = sigmoid(margin) - 1
+    w_buf[idx] += 0 - step_size * g
+end
+`
+)
+
+// runDSL trains an application written purely in Orion's DSL on the
+// real distributed runtime (in-process transport), with the loop
+// backend selectable from the command line: "" compiles loop bodies to
+// closures and falls back to the interpreter outside the compiled
+// subset, "compiled" makes fallback an error, "interp" forces the
+// reference interpreter.
+func runDSL(app, backend string, workers, passes int) error {
+	if workers <= 0 {
+		workers = 4
+	}
+	sess, err := driver.NewLocalSession(workers)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	if err := sess.SetBackend(backend); err != nil {
+		return err
+	}
+
+	var (
+		src        string
+		metric     func() float64
+		metricName string
+	)
+	defPasses := 4
+	switch app {
+	case "mf":
+		const rows, cols, rank = 80, 60, 8
+		ds := data.NewRatings(data.RatingsConfig{Rows: rows, Cols: cols, NNZ: 1500, Rank: rank, Noise: 0.05, Seed: 3})
+		ratings := sess.CreateArray("ratings", false, rows, cols)
+		for i := range ds.I {
+			ratings.SetAt(ds.V[i], ds.I[i], ds.J[i])
+		}
+		rng := rand.New(rand.NewSource(1))
+		sess.CreateArray("W", true, rank, rows).FillRandn(rng, 1.0/rank)
+		sess.CreateArray("H", true, rank, cols).FillRandn(rng, 1.0)
+		sess.SetGlobal("step_size", 0.02)
+		src, metricName = mfDSL, "rmse"
+		metric = func() float64 {
+			r, w, h := sess.Array("ratings"), sess.Array("W"), sess.Array("H")
+			var sum float64
+			var n int
+			r.ForEach(func(idx []int64, v float64) {
+				wv, hv := w.Vec(idx[0]), h.Vec(idx[1])
+				var pred float64
+				for d := range wv {
+					pred += wv[d] * hv[d]
+				}
+				sum += (pred - v) * (pred - v)
+				n++
+			})
+			return math.Sqrt(sum / float64(n))
+		}
+
+	case "lda":
+		const docs, vocab, topics = 120, 80, 6
+		c := data.NewCorpus(data.CorpusConfig{Docs: docs, Vocab: vocab, Topics: topics, MeanDocLen: 30, Seed: 4})
+		tokens := sess.CreateArray("tokens", false, docs, vocab)
+		z := sess.CreateArray("z", false, docs, vocab)
+		dt := sess.CreateArray("doc_topic", true, topics, docs)
+		wt := sess.CreateArray("word_topic", true, topics, vocab)
+		totals := sess.CreateArray("totals", true, topics)
+		if err := sess.CreateBuffer("tot_buf", "totals"); err != nil {
+			return err
+		}
+		i := 0
+		for d, words := range c.Words {
+			seen := map[int64]bool{}
+			for _, w := range words {
+				if seen[w] {
+					continue
+				}
+				seen[w] = true
+				tokens.SetAt(1, int64(d), w)
+				topic := int64(i%topics) + 1
+				z.SetAt(float64(topic), int64(d), w)
+				dt.AddAt(1, topic-1, int64(d))
+				wt.AddAt(1, topic-1, w)
+				totals.AddAt(1, topic-1)
+				i++
+			}
+		}
+		sess.SetGlobal("K", topics)
+		sess.SetGlobal("alpha", 0.5)
+		sess.SetGlobal("beta", 0.1)
+		sess.SetGlobal("vbeta", 0.1*vocab)
+		src, metricName = ldaDSL, "log-likelihood"
+		metric = func() float64 {
+			dt, wt, totals := sess.Array("doc_topic"), sess.Array("word_topic"), sess.Array("totals")
+			var ll float64
+			for k := int64(0); k < topics; k++ {
+				g, _ := math.Lgamma(totals.At(k) + 0.1*vocab)
+				ll -= g
+				for w := int64(0); w < vocab; w++ {
+					g, _ := math.Lgamma(wt.At(k, w) + 0.1)
+					ll += g
+				}
+				for d := int64(0); d < docs; d++ {
+					g, _ := math.Lgamma(dt.At(k, d) + 0.5)
+					ll += g
+				}
+			}
+			return ll
+		}
+
+	case "slr":
+		const samples, dim = 1000, 128
+		rng := rand.New(rand.NewSource(7))
+		xs := sess.CreateArray("samples", true, samples)
+		xs.Map(func(float64) float64 { return rng.Float64() * 1.27 })
+		sess.CreateArray("weights", true, dim)
+		if err := sess.CreateBuffer("w_buf", "weights"); err != nil {
+			return err
+		}
+		sess.SetGlobal("step_size", 0.05)
+		src, metricName = slrDSL, "weights L2"
+		metric = func() float64 {
+			var sum float64
+			sess.Array("weights").ForEach(func(_ []int64, v float64) { sum += v * v })
+			return math.Sqrt(sum)
+		}
+
+	default:
+		return fmt.Errorf("-engine dsl supports apps mf | lda | slr, not %q", app)
+	}
+	if passes <= 0 {
+		passes = defPasses
+	}
+
+	chosen, err := sess.KernelBackend(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dsl on %s: %d workers, %d passes, %s backend\n", app, workers, passes, chosen)
+	fmt.Printf("%-6s  %-14s\n", "pass", metricName)
+	for p := 1; p <= passes; p++ {
+		if _, err := sess.ParallelFor(src); err != nil {
+			return err
+		}
+		fmt.Printf("%-6d  %-14.6g\n", p, metric())
+	}
+	if d := sess.Diagnostics().First(diag.CodeBackend); d != nil {
+		fmt.Println(d.Message)
+	}
+	return nil
+}

@@ -22,12 +22,22 @@ import (
 func main() {
 	var (
 		app     = flag.String("app", "mf", "application: mf | mf-adarev | lda | slr | stencil | gbt")
-		eng     = flag.String("engine", "orion", "engine: serial | orion | ordered | dp | cm | strads | dataflow")
+		eng     = flag.String("engine", "orion", "engine: serial | orion | ordered | dp | cm | strads | dataflow | dsl")
 		workers = flag.Int("workers", 0, "worker count (default: scale's)")
 		passes  = flag.Int("passes", 0, "data passes (default: scale's)")
 		scale   = flag.String("scale", "default", "dataset scale: small | default")
+		backend = flag.String("backend", "", "loop backend for -engine dsl: compiled | interp (default: compiled with interpreter fallback)")
 	)
 	flag.Parse()
+
+	// -engine dsl runs the app from pure DSL source on the real
+	// distributed runtime (not the cost-model engines below).
+	if *eng == "dsl" {
+		if err := runDSL(*app, *backend, *workers, *passes); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var s bench.Scale
 	switch *scale {

@@ -28,6 +28,8 @@
 //	ORN104  warning  declared global never read by the loop body
 //	ORN105  info     unordered loop writes a rotated (time-partitioned)
 //	                 array
+//	ORN106  info     which loop-execution backend the executors use
+//	                 (closure-compiled or the reference interpreter)
 //	ORN201  error    loop is not parallelizable
 //	ORN202  warning  loop requires a unimodular transformation, which
 //	                 the distributed runtime does not execute
@@ -56,6 +58,7 @@ const (
 	CodeFlowDep        = "ORN103"
 	CodeUnusedGlobal   = "ORN104"
 	CodeRotatedWrite   = "ORN105"
+	CodeBackend        = "ORN106"
 	CodeNotParallel    = "ORN201"
 	CodeNeedsTransform = "ORN202"
 )

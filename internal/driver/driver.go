@@ -18,6 +18,7 @@
 package driver
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -46,6 +47,7 @@ type Session struct {
 	env     *lang.Env
 	arrays  map[string]*dsm.DistArray
 	globals map[string]float64
+	backend string
 
 	loopSeq atomic.Int64
 	mu      sync.Mutex
@@ -149,6 +151,62 @@ func (s *Session) CreateBuffer(name, target string) error {
 
 // SetGlobal binds a driver variable visible (read-only) to loop bodies.
 func (s *Session) SetGlobal(name string, v float64) { s.globals[name] = v }
+
+// SetBackend pins the loop-execution backend shipped with every
+// subsequent ParallelFor: "" (default: closure-compiled with
+// interpreter fallback), "compiled" (falling back becomes an error), or
+// "interp" (force the tree-walking interpreter — the reference
+// semantics, useful for bisecting a suspected compiler bug).
+func (s *Session) SetBackend(backend string) error {
+	switch backend {
+	case "", "compiled", "interp":
+		s.backend = backend
+		return nil
+	}
+	return fmt.Errorf("driver: unknown backend %q (want \"\", \"compiled\", or \"interp\")", backend)
+}
+
+// Backend returns the pinned loop-execution backend ("" = automatic).
+func (s *Session) Backend() string { return s.backend }
+
+// KernelBackend reports which backend the executors will run the given
+// loop source on under the current session configuration, without
+// executing anything: "compiled" or "interp". The decision is the same
+// deterministic lang.CompileLoop verdict every worker reaches.
+func (s *Session) KernelBackend(src string) (string, error) {
+	loop, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return s.kernelBackend(loop)
+}
+
+func (s *Session) kernelBackend(loop *lang.Loop) (string, error) {
+	if s.backend == "interp" {
+		return "interp", nil
+	}
+	globals := make([]string, 0, len(s.globals))
+	for g := range s.globals {
+		globals = append(globals, g)
+	}
+	globals = append(globals, lang.Accumulators(loop)...)
+	_, err := lang.CompileLoop(loop, &lang.CompileEnv{
+		Arrays:  s.env.Arrays,
+		Buffers: s.env.Buffers,
+		Globals: globals,
+	})
+	if err != nil {
+		var nce *lang.NotCompilableError
+		if !errors.As(err, &nce) {
+			return "", err
+		}
+		if s.backend == "compiled" {
+			return "", fmt.Errorf("driver: backend=compiled requested: %w", err)
+		}
+		return "interp", nil
+	}
+	return "compiled", nil
+}
 
 // Array returns the driver-side copy of an array.
 func (s *Session) Array(name string) *dsm.DistArray { return s.arrays[name] }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"orion/internal/data"
+	"orion/internal/diag"
 	"orion/internal/lang"
 	"orion/internal/sched"
 )
@@ -474,5 +475,90 @@ func TestDriverOrderedWavefrontMatchesSerial(t *testing.T) {
 			t.Fatalf("%d executors: ordered wavefront differs from serial by %g", n, maxDiff)
 		}
 		sess.Close()
+	}
+}
+
+// TestDriverBackendSelection: the pinned backend is honored end to end,
+// both backends produce bitwise-identical results, the decision
+// surfaces as an ORN106 info diagnostic, and KernelBackend predicts it.
+func TestDriverBackendSelection(t *testing.T) {
+	run := func(backend string) *Session {
+		sess := setupMF(t, 1)
+		if err := sess.SetBackend(backend); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.ParallelFor(mfSrc, Passes(2)); err != nil {
+			t.Fatalf("backend %q: %v", backend, err)
+		}
+		d := sess.Diagnostics().First(diag.CodeBackend)
+		if d == nil {
+			t.Fatalf("backend %q: no %s diagnostic in %v", backend, diag.CodeBackend, sess.Diagnostics())
+		}
+		want := backend
+		if want == "" {
+			want = "compiled"
+		}
+		if !strings.Contains(d.Message, "the "+want+" backend") {
+			t.Fatalf("backend %q: diagnostic %q does not name the %s backend", backend, d.Message, want)
+		}
+		if got, err := sess.KernelBackend(mfSrc); err != nil || got != want {
+			t.Fatalf("KernelBackend = %q, %v; want %q", got, err, want)
+		}
+		return sess
+	}
+	compiled := run("compiled")
+	defer compiled.Close()
+	auto := run("")
+	defer auto.Close()
+	interp := run("interp")
+	defer interp.Close()
+
+	for _, name := range []string{"W", "H"} {
+		want := interp.Array(name)
+		for _, sess := range []*Session{compiled, auto} {
+			got := sess.Array(name)
+			want.ForEach(func(idx []int64, v float64) {
+				if g := got.At(idx...); math.Float64bits(g) != math.Float64bits(v) {
+					t.Fatalf("%s%v: backends diverge: interp %v, pinned %v", name, idx, v, g)
+				}
+			})
+		}
+	}
+
+	if err := compiled.SetBackend("jit"); err == nil {
+		t.Fatal("SetBackend accepted an unknown backend")
+	}
+}
+
+// TestDriverBackendCompiledRefused: pinning backend=compiled on a loop
+// outside the compiled subset fails at the driver before shipping, and
+// the automatic backend reports the interpreter fallback.
+func TestDriverBackendCompiledRefused(t *testing.T) {
+	const src = `
+for (key, v) in data
+    p = zeros(3)
+    q = p
+    s = dot(q, q) + v * 0
+end
+`
+	sess, err := NewLocalSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	sess.CreateArray("data", true, 10).Map(func(float64) float64 { return 0.5 })
+
+	if got, err := sess.KernelBackend(src); err != nil || got != "interp" {
+		t.Fatalf("KernelBackend = %q, %v; want interp fallback", got, err)
+	}
+	if _, err := sess.ParallelFor(src); err != nil {
+		t.Fatalf("automatic backend should fall back and run: %v", err)
+	}
+
+	if err := sess.SetBackend("compiled"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ParallelFor(src); err == nil || !strings.Contains(err.Error(), "backend=compiled") {
+		t.Fatalf("pinned compiled backend on a non-compilable loop: err = %v", err)
 	}
 }

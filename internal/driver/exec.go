@@ -3,6 +3,7 @@ package driver
 import (
 	"fmt"
 
+	"orion/internal/diag"
 	"orion/internal/ir"
 	"orion/internal/lang"
 	"orion/internal/runtime"
@@ -228,6 +229,17 @@ func (s *Session) defineLoop(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Pla
 		def.GlobalVals = append(def.GlobalVals, v)
 	}
 	def.AccumNames = lang.Accumulators(loop)
+	def.Backend = s.backend
+
+	// Surface the backend decision — identical to the one every worker's
+	// dslkernel.Compile will reach — as an Info diagnostic, and reject a
+	// pinned backend=compiled that cannot be honored before shipping.
+	backend, err := s.kernelBackend(loop)
+	if err != nil {
+		return "", err
+	}
+	s.lastDiags.Add(diag.Infof(diag.CodeBackend, diag.Pos{}, "",
+		"loop %s executes on the %s backend", name, backend))
 
 	// Synthesized prefetch for served reads (Section 4.4). Only arrays
 	// the plan actually serves from the master qualify — local and

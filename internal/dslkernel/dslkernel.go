@@ -7,6 +7,7 @@
 package dslkernel
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -21,7 +22,11 @@ func Install() {
 }
 
 // Compile builds a kernel (and prefetch functions) from a DefineLoop
-// message.
+// message. Loop bodies run on the closure-compiled backend
+// (lang.CompileLoop) whenever they fall inside its subset; otherwise
+// the tree-walking interpreter — the reference semantics — executes
+// them. def.Backend pins the choice: "compiled" makes fallback an
+// error, "interp" forces interpretation (e.g. for CLI bisection).
 func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc, error) {
 	loop, err := lang.Parse(def.LoopSrc)
 	if err != nil {
@@ -35,19 +40,57 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 		globals[n] = def.GlobalVals[i]
 	}
 
+	var cl *lang.CompiledLoop
+	switch def.Backend {
+	case "", "compiled", "interp":
+	default:
+		return nil, nil, fmt.Errorf("dslkernel: unknown backend %q", def.Backend)
+	}
+	if def.Backend != "interp" {
+		globalNames := append([]string{}, def.GlobalNames...)
+		globalNames = append(globalNames, def.AccumNames...)
+		cl, err = lang.CompileLoop(loop, &lang.CompileEnv{
+			Arrays:  def.ArrayDims,
+			Buffers: def.Buffers,
+			Globals: globalNames,
+		})
+		if err != nil {
+			var nce *lang.NotCompilableError
+			if !errors.As(err, &nce) {
+				return nil, nil, fmt.Errorf("dslkernel: compiling shipped loop: %w", err)
+			}
+			if def.Backend == "compiled" {
+				return nil, nil, fmt.Errorf("dslkernel: backend=compiled requested: %w", err)
+			}
+			cl = nil // outside the compiled subset: interpret
+		}
+	}
+
 	// The kernel is invoked only from its executor's message loop, so a
 	// single lazily initialized machine per kernel instance suffices.
 	loopName := def.LoopName
+	// Seed the rand() builtin deterministically per (loop, executor):
+	// sampling kernels (e.g. Gibbs) stay reproducible, and both
+	// backends draw the same sequence.
+	seedRng := func(ctx *runtime.Ctx) *rand.Rand {
+		h := fnv.New64a()
+		h.Write([]byte(loopName))
+		return rand.New(rand.NewSource(int64(h.Sum64()) ^ int64(ctx.ExecutorID()*7919)))
+	}
 	var ms *machineState
+	var cs *compiledState
 	kernel := func(ctx *runtime.Ctx, key []int64, val float64) {
+		if cl != nil {
+			if cs == nil {
+				cs = newCompiledState(ctx, cl, loop, def.ArrayDims, def.Buffers, globals, def.AccumNames)
+				cs.k.SetRng(seedRng(ctx))
+			}
+			cs.run(ctx, key, val)
+			return
+		}
 		if ms == nil {
 			ms = newMachineState(ctx, loop, def.ArrayDims, def.Buffers, globals, def.AccumNames)
-			// Seed the rand() builtin deterministically per (loop,
-			// executor): sampling kernels (e.g. Gibbs) stay
-			// reproducible.
-			h := fnv.New64a()
-			h.Write([]byte(loopName))
-			ms.m.Rng = rand.New(rand.NewSource(int64(h.Sum64()) ^ int64(ctx.ExecutorID()*7919)))
+			ms.m.Rng = seedRng(ctx)
 		}
 		ms.run(ctx, key, val)
 	}
@@ -77,6 +120,69 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 		}
 	}
 	return kernel, prefetch, nil
+}
+
+// compiledState is one executor's compiled-kernel instance for one
+// loop: the slot-resolved closure program with partition/served views
+// bound into its array slots, plus accumulator shadows for diffing.
+type compiledState struct {
+	k       *lang.CompiledKernel
+	accums  []string
+	slots   []int
+	lastAcc []float64
+}
+
+func newCompiledState(ctx *runtime.Ctx, cl *lang.CompiledLoop, loop *lang.Loop,
+	dims map[string][]int64, buffers map[string]string,
+	globals map[string]float64, accums []string) *compiledState {
+	k := cl.NewKernel()
+	for name, d := range dims {
+		if name == loop.IterVar {
+			// Like the interpreter path, the iteration space stays
+			// unbound: body reads of it fault as unknown.
+			continue
+		}
+		var view lang.ArrayAccess
+		if ctx.HasPartition(name) {
+			view = &partView{ctx: ctx, name: name, dims: d}
+		} else {
+			view = &servedView{ctx: ctx, name: name, dims: d}
+		}
+		if err := k.BindArray(name, view); err != nil {
+			panic(fmt.Sprintf("dslkernel: %v", err))
+		}
+	}
+	for bname, target := range buffers {
+		if err := k.BindBuffer(bname, &ctxBuffer{ctx: ctx, target: target, dims: dims[target]}); err != nil {
+			panic(fmt.Sprintf("dslkernel: %v", err))
+		}
+	}
+	for n, v := range globals {
+		k.SetGlobal(n, v)
+	}
+	cs := &compiledState{k: k, accums: accums}
+	for _, a := range accums {
+		if _, ok := globals[a]; !ok {
+			k.SetGlobal(a, 0)
+		}
+		slot := k.GlobalSlot(a)
+		cs.slots = append(cs.slots, slot)
+		cs.lastAcc = append(cs.lastAcc, k.GlobalAt(slot))
+	}
+	return cs
+}
+
+func (cs *compiledState) run(ctx *runtime.Ctx, key []int64, val float64) {
+	if err := cs.k.RunIteration(key, val); err != nil {
+		panic(fmt.Sprintf("dslkernel: compiled kernel: %v", err))
+	}
+	for i, a := range cs.accums {
+		cur := cs.k.GlobalAt(cs.slots[i])
+		if d := cur - cs.lastAcc[i]; d != 0 {
+			ctx.AccumAdd(a, d)
+			cs.lastAcc[i] = cur
+		}
+	}
 }
 
 // machineState is one executor's interpreter instance for one loop.

@@ -191,6 +191,30 @@ func (a *DistArray) ForEach(f func(idx []int64, v float64)) {
 	}
 }
 
+// ForEachUntil visits elements in the same order as ForEach but stops
+// as soon as f returns false, so callers can abandon a walk early (for
+// example when an iteration errors).
+func (a *DistArray) ForEachUntil(f func(idx []int64, v float64) bool) {
+	if a.IsDense() {
+		for off, v := range a.dense {
+			if !f(a.Unflatten(int64(off)), v) {
+				return
+			}
+		}
+		return
+	}
+	offs := make([]int64, 0, len(a.sparse))
+	for off := range a.sparse {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, off := range offs {
+		if !f(a.Unflatten(off), a.sparse[off]) {
+			return
+		}
+	}
+}
+
 // Entries returns the sparse entries (offset order) as parallel slices.
 func (a *DistArray) Entries() (idx [][]int64, vals []float64) {
 	a.ForEach(func(i []int64, v float64) {

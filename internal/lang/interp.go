@@ -30,6 +30,35 @@ type Iterable interface {
 	ForEach(f func(idx []int64, v float64))
 }
 
+// IterableUntil is the early-termination variant: the walk stops as
+// soon as f returns false. *dsm.DistArray implements it; RunLoop uses
+// it so an iteration error stops the walk instead of visiting (and
+// skipping) every remaining element.
+type IterableUntil interface {
+	ForEachUntil(f func(idx []int64, v float64) bool)
+}
+
+// forEachStop walks an iteration space, stopping at the first error f
+// returns. Iterables without early termination fall back to a full
+// walk that skips elements after the first error.
+func forEachStop(iter Iterable, f func(idx []int64, v float64) error) error {
+	var firstErr error
+	if u, ok := iter.(IterableUntil); ok {
+		u.ForEachUntil(func(idx []int64, v float64) bool {
+			firstErr = f(idx, v)
+			return firstErr == nil
+		})
+		return firstErr
+	}
+	iter.ForEach(func(idx []int64, v float64) {
+		if firstErr != nil {
+			return
+		}
+		firstErr = f(idx, v)
+	})
+	return firstErr
+}
+
 // Machine executes DSL loop bodies against DistArrays — the runtime
 // counterpart of the code the Julia implementation generates during
 // macro expansion.
@@ -50,6 +79,12 @@ type Machine struct {
 	// the subscripts are recorded and a zero value returned. Used by
 	// the synthesized prefetch function (Section 4.4).
 	Recorder *Recorder
+	// StepBudget, when non-zero, bounds inner for-range body
+	// executions across the machine's lifetime; exceeding it is an
+	// error. Used to bound fuzzed programs.
+	StepBudget int64
+	// VecLimit, when non-zero, bounds zeros() vector lengths.
+	VecLimit int64
 }
 
 // RandSource is the rand() builtin's backing generator.
@@ -96,16 +131,9 @@ func (m *Machine) RunLoop(loop *Loop) error {
 	if !ok {
 		return fmt.Errorf("lang: iteration space %q is not iterable on this machine", loop.IterVar)
 	}
-	var firstErr error
-	iter.ForEach(func(idx []int64, v float64) {
-		if firstErr != nil {
-			return
-		}
-		if err := m.RunIteration(loop, idx, v); err != nil {
-			firstErr = err
-		}
+	return forEachStop(iter, func(idx []int64, v float64) error {
+		return m.RunIteration(loop, idx, v)
 	})
-	return firstErr
 }
 
 // RunIteration executes the loop body for one iteration.
@@ -174,6 +202,12 @@ func (m *Machine) exec(body []Stmt, sc *scope) error {
 				return err
 			}
 			for v := lo; v <= hi; v++ {
+				if m.StepBudget != 0 {
+					m.StepBudget--
+					if m.StepBudget == 0 {
+						return fmt.Errorf("lang: step budget exhausted")
+					}
+				}
 				sc.vars[s.Var] = float64(v)
 				if err := m.exec(s.Body, sc); err != nil {
 					return err
@@ -665,6 +699,9 @@ func (m *Machine) evalCall(c *Call, sc *scope) (Value, error) {
 		n, err := scalar(0)
 		if err != nil {
 			return nil, err
+		}
+		if m.VecLimit > 0 && n > float64(m.VecLimit) {
+			return nil, fmt.Errorf("lang: zeros(%g) exceeds the vector length limit %d", n, m.VecLimit)
 		}
 		return make([]float64, int(n)), nil
 	default:

@@ -198,27 +198,39 @@ func (e *Executor) acceptPeers() {
 // directly from this goroutine, so an executor serves reads and updates
 // even while its own main loop is mid-block.
 func (e *Executor) servePeer(c *codec) {
+	// in and out live for the connection: recvInto reuses in's payload
+	// slice storage and gob reuses out's encoder state, so the
+	// steady-state prefetch/update serving path does not allocate a
+	// fresh Msg pair per request.
+	var in, out Msg
 	for {
-		m, err := c.recv()
-		if err != nil {
+		if err := c.recvInto(&in); err != nil {
 			return
 		}
-		switch m.Kind {
+		switch in.Kind {
 		case MsgRotate:
-			e.rotateCh <- m
+			// The rotation pipeline retains the message beyond this
+			// loop iteration — hand it a detached copy and drop the
+			// blob from the reused receive Msg.
+			e.rotateCh <- &Msg{Kind: MsgRotate, Array: in.Array, PartBlob: in.PartBlob}
+			in.PartBlob = nil
 		case MsgPrefetch:
-			vals, err := e.shards.serveRead(m.Array, m.Offsets)
+			vals, err := e.shards.serveRead(in.Array, in.Offsets)
 			if err != nil {
-				c.send(&Msg{Kind: MsgError, Err: err.Error()})
+				out = Msg{Kind: MsgError, Err: err.Error()}
+				c.send(&out)
 				continue
 			}
-			c.send(&Msg{Kind: MsgPrefetchResp, Array: m.Array, Offsets: m.Offsets, Values: vals})
+			out = Msg{Kind: MsgPrefetchResp, Array: in.Array, Offsets: in.Offsets, Values: vals}
+			c.send(&out)
 		case MsgUpdateBatch:
-			if err := e.shards.serveUpdate(m.Array, m.Offsets, m.Values, m.Absolute); err != nil {
-				c.send(&Msg{Kind: MsgError, Err: err.Error()})
+			if err := e.shards.serveUpdate(in.Array, in.Offsets, in.Values, in.Absolute); err != nil {
+				out = Msg{Kind: MsgError, Err: err.Error()}
+				c.send(&out)
 				continue
 			}
-			c.send(&Msg{Kind: MsgAck})
+			out = Msg{Kind: MsgAck}
+			c.send(&out)
 		}
 	}
 }

@@ -93,7 +93,9 @@ type Msg struct {
 
 	// DefineLoop payload: the loop source, the synthesized prefetch
 	// slice (empty if none), the declared arrays/buffers, captured
-	// driver globals, and accumulator names.
+	// driver globals, and accumulator names. Backend selects the loop
+	// execution backend: "" (compiled with interpreter fallback),
+	// "compiled" (fallback is an error), or "interp".
 	LoopSrc        string
 	PrefetchSrc    string
 	PrefetchArrays []string
@@ -102,9 +104,21 @@ type Msg struct {
 	GlobalNames    []string
 	GlobalVals     []float64
 	AccumNames     []string
+	Backend        string
 
 	// Errors.
 	Err string
+}
+
+// reset clears a Msg for reuse while keeping the backing storage of the
+// hot-path payload slices (Offsets/Values), so a long-lived serving
+// loop can decode into the same Msg without reallocating per message.
+// Explicit zeroing matters: gob leaves fields absent from the wire
+// unchanged on decode.
+func (m *Msg) reset() {
+	offsets := m.Offsets[:0]
+	values := m.Values[:0]
+	*m = Msg{Offsets: offsets, Values: values}
 }
 
 // IterSample is one iteration-space element shipped to an executor.
@@ -138,6 +152,15 @@ func (c *codec) recv() (*Msg, error) {
 		return nil, err
 	}
 	return &m, nil
+}
+
+// recvInto decodes the next message into a caller-owned Msg, reusing
+// its payload slice storage. The caller must not retain pointers into
+// the Msg across calls (copy anything it keeps — see servePeer's
+// rotation handling).
+func (c *codec) recvInto(m *Msg) error {
+	m.reset()
+	return c.dec.Decode(m)
 }
 
 func (c *codec) close() error { return c.conn.Close() }

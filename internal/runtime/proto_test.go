@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"net"
+	"testing"
+)
+
+// TestMsgReset: reset must zero every field while keeping the hot
+// payload slices' backing storage.
+func TestMsgReset(t *testing.T) {
+	m := Msg{
+		Kind:     MsgPrefetch,
+		Array:    "w",
+		PartBlob: []byte{1, 2},
+		Offsets:  []int64{1, 2, 3},
+		Values:   []float64{4, 5, 6},
+		Backend:  "compiled",
+		Err:      "boom",
+		ArrayDims: map[string][]int64{
+			"w": {3},
+		},
+	}
+	off0 := &m.Offsets[0]
+	val0 := &m.Values[0]
+	m.reset()
+	if m.Kind != 0 || m.Array != "" || m.PartBlob != nil || m.Backend != "" || m.Err != "" || m.ArrayDims != nil {
+		t.Fatalf("reset left fields set: %+v", m)
+	}
+	if len(m.Offsets) != 0 || len(m.Values) != 0 {
+		t.Fatalf("reset left payload lengths: %d, %d", len(m.Offsets), len(m.Values))
+	}
+	m.Offsets = m.Offsets[:1]
+	m.Values = m.Values[:1]
+	if &m.Offsets[0] != off0 || &m.Values[0] != val0 {
+		t.Fatal("reset dropped the payload backing storage")
+	}
+}
+
+// startEcho serves one connection with the reusing recvInto/send pair,
+// echoing prefetch payloads back — the shape of servePeer's hot loop.
+func startEcho(c *codec) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var in, out Msg
+		for {
+			if err := c.recvInto(&in); err != nil {
+				return
+			}
+			if in.Kind == MsgShutdown {
+				return
+			}
+			out = Msg{Kind: MsgPrefetchResp, Array: in.Array, Offsets: in.Offsets, Values: in.Values}
+			if err := c.send(&out); err != nil {
+				return
+			}
+		}
+	}()
+	return done
+}
+
+// TestRecvIntoReusesPayloadStorage: steady-state request/response
+// round trips must reuse the decoded payload slices' backing arrays
+// and stay within a small allocation budget per round trip.
+func TestRecvIntoReusesPayloadStorage(t *testing.T) {
+	clientConn, serverConn := net.Pipe()
+	defer clientConn.Close()
+	defer serverConn.Close()
+	cc := newCodec(clientConn)
+	sc := newCodec(serverConn)
+	done := startEcho(sc)
+
+	req := Msg{Kind: MsgPrefetch, Array: "weights",
+		Offsets: make([]int64, 64), Values: make([]float64, 64)}
+	for i := range req.Offsets {
+		req.Offsets[i] = int64(i)
+		req.Values[i] = float64(i) * 0.5
+	}
+	var resp Msg
+	roundTrip := func() {
+		if err := cc.send(&req); err != nil {
+			t.Fatal(err)
+		}
+		if err := cc.recvInto(&resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		roundTrip()
+	}
+	if len(resp.Offsets) != 64 || len(resp.Values) != 64 {
+		t.Fatalf("echo payload came back with %d/%d elements", len(resp.Offsets), len(resp.Values))
+	}
+	off0 := &resp.Offsets[0]
+	val0 := &resp.Values[0]
+	allocs := testing.AllocsPerRun(100, roundTrip)
+	if &resp.Offsets[0] != off0 || &resp.Values[0] != val0 {
+		t.Fatal("recvInto reallocated the payload backing storage")
+	}
+	// The budget covers both ends of the pipe (client and echo server
+	// goroutines both count toward the global allocation counter). The
+	// old fresh-Msg-per-recv path costs ~3x this.
+	if allocs > 24 {
+		t.Fatalf("round trip allocates %.0f objects, want <= 24", allocs)
+	}
+
+	cc.send(&Msg{Kind: MsgShutdown})
+	<-done
+}
+
+// BenchmarkPeerRoundTrip measures the reusing codec path end to end
+// (the transport cost under every served read during execution).
+func BenchmarkPeerRoundTrip(b *testing.B) {
+	clientConn, serverConn := net.Pipe()
+	defer clientConn.Close()
+	defer serverConn.Close()
+	cc := newCodec(clientConn)
+	sc := newCodec(serverConn)
+	done := startEcho(sc)
+
+	req := Msg{Kind: MsgPrefetch, Array: "weights",
+		Offsets: make([]int64, 64), Values: make([]float64, 64)}
+	var resp Msg
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cc.send(&req); err != nil {
+			b.Fatal(err)
+		}
+		if err := cc.recvInto(&resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cc.send(&Msg{Kind: MsgShutdown})
+	<-done
+}
