@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke vet-examples fuzz bench-baseline
+.PHONY: check fmt vet build test race bench-smoke vet-examples fuzz bench-baseline bench-obs
 
 check: fmt vet build test race bench-smoke
 
@@ -23,11 +23,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The runtime, driver, and engine packages exercise executors, rotation
-# pipelines, and the simulator concurrently — run them under the race
-# detector.
+# The runtime, driver, engine, observability, and kernel-compilation
+# packages exercise executors, rotation pipelines, trace buffers, and
+# the simulator concurrently — run them under the race detector.
 race:
-	$(GO) test -race ./internal/runtime ./internal/driver ./internal/engine
+	$(GO) test -race ./internal/runtime/... ./internal/driver ./internal/engine \
+		./internal/dslkernel/... ./internal/obs
 
 # One iteration of every benchmark — catches bit-rotted benchmark code
 # without paying for real measurement.
@@ -38,6 +39,10 @@ bench-smoke:
 # Regenerate the committed interp-vs-compiled kernel baseline.
 bench-baseline:
 	ORION_BENCH_BASELINE=1 $(GO) test ./internal/lang -run TestWriteBenchBaseline -v
+
+# Regenerate the committed observability-overhead baseline.
+bench-obs:
+	$(GO) run ./cmd/orion-bench -obs-json BENCH_obs.json
 
 # Vet every shipped example program; unsafe.orion is expected to fail.
 vet-examples:

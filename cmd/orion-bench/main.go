@@ -24,8 +24,18 @@ func main() {
 		scale  = flag.String("scale", "default", "dataset scale: small | default")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		outDir = flag.String("csv", "", "also write each experiment's series as CSV files into this directory")
+		obsOut = flag.String("obs-json", "", "measure observability overhead, write the BENCH_obs.json baseline to this path, and exit")
 	)
 	flag.Parse()
+
+	if *obsOut != "" {
+		if err := bench.WriteObsBaseline(*obsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "obs baseline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *obsOut)
+		return
+	}
 
 	if *list {
 		for _, id := range bench.ExperimentIDs() {

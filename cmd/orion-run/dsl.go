@@ -1,13 +1,18 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"os"
 
 	"orion/internal/data"
 	"orion/internal/diag"
 	"orion/internal/driver"
+	"orion/internal/lang"
+	"orion/internal/runtime"
 )
 
 // DSL renditions of the three parameter-server applications (the same
@@ -83,7 +88,7 @@ end
 // closures and falls back to the interpreter outside the compiled
 // subset, "compiled" makes fallback an error, "interp" forces the
 // reference interpreter.
-func runDSL(app, backend string, workers, passes int) error {
+func runDSL(app, backend string, workers, passes int, report bool) error {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -214,12 +219,40 @@ func runDSL(app, backend string, workers, passes int) error {
 	fmt.Printf("%-6s  %-14s\n", "pass", metricName)
 	for p := 1; p <= passes; p++ {
 		if _, err := sess.ParallelFor(src); err != nil {
-			return err
+			return renderWorkerLost(os.Stderr, app, src, err)
 		}
 		fmt.Printf("%-6d  %-14.6g\n", p, metric())
 	}
 	if d := sess.Diagnostics().First(diag.CodeBackend); d != nil {
 		fmt.Println(d.Message)
 	}
+	if report {
+		if r := sess.CombinedReport(); r != nil {
+			fmt.Println()
+			fmt.Print(r.Render())
+		}
+	}
 	return nil
+}
+
+// renderWorkerLost turns a mid-loop executor loss into a positioned
+// ORN301 diagnostic on the loop header, rendered to w with source
+// context; any other ParallelFor error passes through untouched. The
+// returned error is always non-nil, so orion-run exits non-zero instead
+// of reporting the pass's partial results as success.
+func renderWorkerLost(w io.Writer, app, src string, err error) error {
+	if !errors.Is(err, runtime.ErrWorkerLost) {
+		return err
+	}
+	file := app + ".dsl"
+	pos := diag.Pos{File: file}
+	if loop, perr := lang.Parse(src); perr == nil {
+		pos.Line, pos.Col = loop.At.Line, loop.At.Col
+	}
+	var l diag.List
+	l.Add(diag.Errorf(diag.CodeWorkerLost, pos,
+		"the interrupted pass was not applied; restart the lost worker and rerun",
+		"%v", err))
+	diag.Render(w, l, map[string]string{file: src})
+	return fmt.Errorf("run aborted: %w", err)
 }

@@ -16,6 +16,7 @@ import (
 	"orion/internal/bench"
 	"orion/internal/data"
 	"orion/internal/engine"
+	"orion/internal/obs"
 	"orion/internal/optim"
 )
 
@@ -27,13 +28,41 @@ func main() {
 		passes  = flag.Int("passes", 0, "data passes (default: scale's)")
 		scale   = flag.String("scale", "default", "dataset scale: small | default")
 		backend = flag.String("backend", "", "loop backend for -engine dsl: compiled | interp (default: compiled with interpreter fallback)")
+		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file here (-engine dsl; open at ui.perfetto.dev)")
+		report  = flag.Bool("report", false, "print the per-worker execution report after the run (-engine dsl)")
+		metrics = flag.String("metrics-addr", "", "serve runtime metrics (/debug/vars) and profiling (/debug/pprof/) on this address")
 	)
 	flag.Parse()
+
+	if *metrics != "" {
+		addr, err := obs.ServeMetrics(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "orion-run: metrics at http://%s/debug/vars\n", addr)
+	}
 
 	// -engine dsl runs the app from pure DSL source on the real
 	// distributed runtime (not the cost-model engines below).
 	if *eng == "dsl" {
-		if err := runDSL(*app, *backend, *workers, *passes); err != nil {
+		var tracer *obs.Tracer
+		if *trace != "" {
+			tracer = obs.StartTracing()
+		}
+		err := runDSL(*app, *backend, *workers, *passes, *report)
+		if tracer != nil {
+			obs.StopTracing()
+			// Write the trace even when the run failed — a truncated
+			// timeline is exactly what diagnoses the failure.
+			if werr := tracer.WriteFile(*trace); werr != nil {
+				if err == nil {
+					err = werr
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "orion-run: trace written to %s\n", *trace)
+			}
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return

@@ -14,19 +14,29 @@ import (
 	"os"
 
 	"orion/internal/dslkernel"
+	"orion/internal/obs"
 	"orion/internal/runtime"
 )
 
 func main() {
 	var (
-		master = flag.String("master", "", "master address (host:port)")
-		peer   = flag.String("peer", "", "this worker's ring endpoint (host:port)")
-		id     = flag.Int("id", -1, "executor id (0..n-1, unique per worker)")
+		master  = flag.String("master", "", "master address (host:port)")
+		peer    = flag.String("peer", "", "this worker's ring endpoint (host:port)")
+		id      = flag.Int("id", -1, "executor id (0..n-1, unique per worker)")
+		metrics = flag.String("metrics-addr", "", "serve runtime metrics (/debug/vars) and profiling (/debug/pprof/) on this address")
 	)
 	flag.Parse()
 	if *master == "" || *peer == "" || *id < 0 {
 		fmt.Fprintln(os.Stderr, "orion-worker: -master, -peer and -id are required")
 		os.Exit(2)
+	}
+	if *metrics != "" {
+		addr, err := obs.ServeMetrics(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orion-worker:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "orion-worker: metrics at http://%s/debug/vars\n", addr)
 	}
 	dslkernel.Install()
 	e, err := runtime.NewExecutor(runtime.TCP{}, *master, *peer, *id)

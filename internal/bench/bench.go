@@ -47,6 +47,7 @@ func Experiments() map[string]Runner {
 		"ablation-skew":     AblationSkew,
 		"ablation-dims":     AblationDims,
 		"ablation-pipeline": AblationPipeline,
+		"obs":               ObsOverhead,
 	}
 }
 

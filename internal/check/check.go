@@ -59,6 +59,11 @@ type Result struct {
 	// conditions held and therefore why this strategy was chosen, plus
 	// the provenance of each dependence vector.
 	Explanation []string
+
+	// arrayBytes is the effective per-array size map planning ran with
+	// (caller-supplied or estimated from declared extents); the ORN107
+	// rotation-ratio lint reads it.
+	arrayBytes map[string]int64
 }
 
 // Deps returns the dependence-vector set, or nil before that pass.
@@ -142,6 +147,7 @@ func Run(loop *lang.Loop, env *lang.Env, opts Options) *Result {
 			sopts.ArrayBytes[name] = total
 		}
 	}
+	r.arrayBytes = sopts.ArrayBytes
 	plan, err := sched.NewFromDeps(spec, detail.Set, sopts)
 	if err != nil {
 		r.Diags.Add(diag.Errorf(diag.CodeBadSpec, r.pos(loop.At, opts),

@@ -197,3 +197,44 @@ func TestSyntaxErrorsArePositioned(t *testing.T) {
 		t.Fatalf("syntax error at file line %d, want 4", d.Pos.Line)
 	}
 }
+
+// TestRotationRatioInfo: a 2D rotated plan must carry the ORN107 info
+// predicting its rotation/compute byte ratio, so users can compare the
+// static estimate against orion-run -report measurements.
+func TestRotationRatioInfo(t *testing.T) {
+	b, err := os.ReadFile("../../examples/quickstart/mf.orion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Source(string(b), Options{File: "mf.orion"})
+	if res.Err() != nil {
+		t.Fatalf("mf.orion must vet clean: %v", res.Diags)
+	}
+	d := res.Diags.First(diag.CodeRotationRatio)
+	if d == nil {
+		t.Fatalf("expected ORN107 info, got %v", res.Diags)
+	}
+	if d.Severity != diag.Info {
+		t.Fatalf("ORN107 severity = %v, want info", d.Severity)
+	}
+	for _, want := range []string{"rotation/compute byte ratio", "bytes"} {
+		if !strings.Contains(d.Message, want) {
+			t.Fatalf("ORN107 message %q missing %q", d.Message, want)
+		}
+	}
+	if d.Note == "" || !strings.Contains(d.Note, "-report") {
+		t.Fatalf("ORN107 note %q should point at orion-run -report", d.Note)
+	}
+	// A 1D loop (no time dimension) must not produce ORN107.
+	b2, err := os.ReadFile("../../examples/slr_prefetch/slr.orion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := Source(string(b2), Options{File: "slr.orion"})
+	if res2.Plan != nil && res2.Plan.Kind == sched.TwoD {
+		t.Skip("slr plan became 2D; pick another 1D fixture")
+	}
+	if d := res2.Diags.First(diag.CodeRotationRatio); d != nil {
+		t.Fatalf("unexpected ORN107 on 1D plan: %v", d)
+	}
+}

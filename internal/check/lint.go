@@ -18,6 +18,7 @@ func (r *Result) lint(opts Options) {
 	r.lintFlowDeps(opts)
 	r.lintUnusedGlobals(opts)
 	r.lintRotatedWrites(opts)
+	r.lintRotationRatio(opts)
 }
 
 // lintRuntimeSubscripts flags ORN101: an unbuffered reference whose
@@ -137,6 +138,39 @@ func (r *Result) lintRotatedWrites(opts Options) {
 			"this is correct for serializable (unordered) semantics; declare the loop ordered if updates must be applied in key order",
 			"writes to %q are applied in pipelined-rotation order, not key order", ref.Array))
 	}
+}
+
+// lintRotationRatio notes ORN107 (info): the expected rotation/compute
+// byte ratio of the chosen 2D plan — per pipelined-rotation step cycle
+// (one data pass), every rotated array's full contents traverse the
+// ring while the workers compute over the iteration-space samples. The
+// static prediction can be compared against the measured rot-wait vs.
+// compute breakdown in `orion-run -report`.
+func (r *Result) lintRotationRatio(opts Options) {
+	if r.Plan == nil || r.Plan.Kind != sched.TwoD || r.Plan.TimeDim < 0 {
+		return
+	}
+	var rotated []string
+	var rotatedBytes int64
+	for _, a := range r.Plan.Arrays {
+		if a.Place == sched.Rotated {
+			rotated = append(rotated, a.Array)
+			rotatedBytes += r.arrayBytes[a.Array]
+		}
+	}
+	if len(rotated) == 0 {
+		return
+	}
+	iterBytes := r.arrayBytes[r.Spec.IterSpaceArray]
+	if iterBytes <= 0 {
+		return
+	}
+	ratio := float64(rotatedBytes) / float64(iterBytes)
+	r.Diags.Add(diag.Infof(diag.CodeRotationRatio,
+		diag.Pos{File: opts.File, Line: r.Loop.At.Line, Col: r.Loop.At.Col},
+		"compare this static prediction against the measured rot-wait/compute breakdown from orion-run -report; a measured ratio far above it means rotation is stalling the pipeline",
+		"plan rotates %s (%d bytes) against %d sample bytes per pass: expected rotation/compute byte ratio %.3f",
+		strings.Join(rotated, ", "), rotatedBytes, iterBytes, ratio))
 }
 
 // strategy is pass 5's verdict: an error when the loop cannot run in

@@ -30,9 +30,12 @@
 //	                 array
 //	ORN106  info     which loop-execution backend the executors use
 //	                 (closure-compiled or the reference interpreter)
+//	ORN107  info     expected rotation/compute byte ratio of the chosen
+//	                 plan (compare against orion-run -report)
 //	ORN201  error    loop is not parallelizable
 //	ORN202  warning  loop requires a unimodular transformation, which
 //	                 the distributed runtime does not execute
+//	ORN301  error    a worker died mid-loop; results are partial
 package diag
 
 import (
@@ -59,8 +62,10 @@ const (
 	CodeUnusedGlobal   = "ORN104"
 	CodeRotatedWrite   = "ORN105"
 	CodeBackend        = "ORN106"
+	CodeRotationRatio  = "ORN107"
 	CodeNotParallel    = "ORN201"
 	CodeNeedsTransform = "ORN202"
+	CodeWorkerLost     = "ORN301"
 )
 
 // Severity classifies a diagnostic. Errors abort compilation/execution;

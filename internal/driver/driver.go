@@ -33,6 +33,7 @@ import (
 	"orion/internal/dsm"
 	"orion/internal/ir"
 	"orion/internal/lang"
+	"orion/internal/obs"
 	"orion/internal/runtime"
 	"orion/internal/sched"
 )
@@ -54,6 +55,10 @@ type Session struct {
 	closed  bool
 
 	lastDiags diag.List
+	// lastKernel is the runtime kernel name of the most recent
+	// ParallelFor (each call defines a fresh loop), keyed into the
+	// master's per-loop execution reports.
+	lastKernel string
 }
 
 var sessionSeq atomic.Int64
@@ -251,6 +256,24 @@ func (s *Session) vet(src string) (*check.Result, error) {
 // warnings such as assumed-commutativity notes — from the most recent
 // ParallelFor or PlanOf call.
 func (s *Session) Diagnostics() diag.List { return s.lastDiags }
+
+// LastReport returns the execution report (per-worker compute /
+// rotation-wait / comm breakdown) of the most recent ParallelFor, or
+// nil when no loop has run.
+func (s *Session) LastReport() *obs.LoopReport {
+	s.mu.Lock()
+	kernel := s.lastKernel
+	s.mu.Unlock()
+	if kernel == "" {
+		return nil
+	}
+	return s.master.Report(kernel)
+}
+
+// CombinedReport merges the execution reports of every loop this
+// session has run (each ParallelFor defines a fresh loop kernel, so a
+// multi-pass driver accumulates several). Nil when nothing has run.
+func (s *Session) CombinedReport() *obs.LoopReport { return s.master.CombinedReport() }
 
 // PlanOf runs only the static pipeline — parse, analyze, dependence
 // vectors, plan — without executing; useful for inspection. Unlike

@@ -255,6 +255,9 @@ func (s *Session) defineLoop(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Pla
 	if err := s.master.DefineLoop(def); err != nil {
 		return "", err
 	}
+	s.mu.Lock()
+	s.lastKernel = name
+	s.mu.Unlock()
 	return name, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"orion/internal/lang"
+	"orion/internal/obs"
 	"orion/internal/runtime"
 )
 
@@ -28,6 +29,9 @@ func Install() {
 // them. def.Backend pins the choice: "compiled" makes fallback an
 // error, "interp" forces interpretation (e.g. for CLI bisection).
 func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc, error) {
+	tb := obs.NewBuf(0, "dslkernel")
+	spanStart := tb.Begin()
+	defer tb.EndN("kernel.compile", "dsl", spanStart, "src_bytes", int64(len(def.LoopSrc)))
 	loop, err := lang.Parse(def.LoopSrc)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dslkernel: parsing shipped loop: %w", err)
@@ -64,6 +68,11 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 			}
 			cl = nil // outside the compiled subset: interpret
 		}
+	}
+	if cl != nil {
+		obs.GetCounter("kernel.compiled").Inc()
+	} else {
+		obs.GetCounter("kernel.interp_fallback").Inc()
 	}
 
 	// The kernel is invoked only from its executor's message loop, so a

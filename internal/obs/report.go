@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"orion/internal/metrics"
+)
+
+// WorkerStats is one worker's accumulated time breakdown for a loop:
+// where its wall-clock went while executing kernel blocks.
+type WorkerStats struct {
+	Worker    int
+	Blocks    int64 // kernel blocks executed
+	Iters     int64 // DSL iterations executed
+	ComputeNs int64 // time inside the kernel function
+	RotWaitNs int64 // blocked waiting for the rotated partition to arrive
+	CommNs    int64 // serialization + sends (rotation send, prefetch, flush)
+}
+
+// add merges another sample into the stats.
+func (w *WorkerStats) add(s WorkerStats) {
+	w.Blocks += s.Blocks
+	w.Iters += s.Iters
+	w.ComputeNs += s.ComputeNs
+	w.RotWaitNs += s.RotWaitNs
+	w.CommNs += s.CommNs
+}
+
+// LoopReport is the per-loop execution breakdown the master assembles
+// from executor BlockDone messages.
+type LoopReport struct {
+	Loop    string
+	Workers []WorkerStats // sorted by Worker
+}
+
+// Add accumulates one worker sample into the report.
+func (r *LoopReport) Add(s WorkerStats) {
+	for i := range r.Workers {
+		if r.Workers[i].Worker == s.Worker {
+			r.Workers[i].add(s)
+			return
+		}
+	}
+	r.Workers = append(r.Workers, s)
+	sort.Slice(r.Workers, func(i, j int) bool {
+		return r.Workers[i].Worker < r.Workers[j].Worker
+	})
+}
+
+// Merge folds another report's workers into this one (used to combine
+// the reports of several ParallelFor passes over the same loop nest).
+func (r *LoopReport) Merge(other *LoopReport) {
+	if other == nil {
+		return
+	}
+	for _, w := range other.Workers {
+		r.Add(w)
+	}
+}
+
+// Total returns the sum across workers.
+func (r *LoopReport) Total() WorkerStats {
+	var t WorkerStats
+	for _, w := range r.Workers {
+		t.add(w)
+	}
+	return t
+}
+
+// RotationComputeRatio returns total rotation-wait time over total
+// compute time (0 when no compute was recorded). orion-vet's ORN107
+// prediction can be compared against this measurement.
+func (r *LoopReport) RotationComputeRatio() float64 {
+	t := r.Total()
+	if t.ComputeNs == 0 {
+		return 0
+	}
+	return float64(t.RotWaitNs) / float64(t.ComputeNs)
+}
+
+func secs(ns int64) string { return fmt.Sprintf("%.4f", float64(ns)/1e9) }
+
+func statsRow(label string, w WorkerStats) []string {
+	busy := "-"
+	itersPerSec := "-"
+	if total := w.ComputeNs + w.RotWaitNs + w.CommNs; total > 0 {
+		busy = fmt.Sprintf("%.1f%%", 100*float64(w.ComputeNs)/float64(total))
+		itersPerSec = fmt.Sprintf("%.0f", float64(w.Iters)/(float64(total)/1e9))
+	}
+	return []string{
+		label,
+		fmt.Sprintf("%d", w.Blocks),
+		fmt.Sprintf("%d", w.Iters),
+		secs(w.ComputeNs),
+		secs(w.RotWaitNs),
+		secs(w.CommNs),
+		busy,
+		itersPerSec,
+	}
+}
+
+// Render formats the report as an aligned table: one row per worker
+// plus a TOTAL row. busy% is compute over (compute+rot-wait+comm).
+func (r *LoopReport) Render() string {
+	headers := []string{"worker", "blocks", "iters", "compute s", "rot-wait s", "comm s", "busy %", "iters/s"}
+	var rows [][]string
+	for _, w := range r.Workers {
+		rows = append(rows, statsRow(fmt.Sprintf("%d", w.Worker), w))
+	}
+	rows = append(rows, statsRow("TOTAL", r.Total()))
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %s  (rotation/compute ratio %.3f)\n", r.Loop, r.RotationComputeRatio())
+	b.WriteString(metrics.Table(headers, rows))
+	return b.String()
+}
+
+// DurationNs is a readability helper for call sites turning a
+// time.Since into report nanoseconds.
+func DurationNs(d time.Duration) int64 { return int64(d) }

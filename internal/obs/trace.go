@@ -1,0 +1,284 @@
+// Package obs is Orion's zero-dependency observability layer: a
+// low-overhead span tracer emitting Chrome trace-event JSON (loadable
+// in Perfetto or chrome://tracing), a counters/gauges/histograms
+// registry exported via expvar plus an optional HTTP endpoint with
+// pprof wired in, and the per-loop execution report the runtime fills
+// in (compute vs. rotation-wait vs. communication per worker).
+//
+// Tracing is disabled by default. The disabled path is nil-safe and
+// allocation-free: components hold a *TraceBuf that is nil when no
+// tracer is installed, and every TraceBuf method no-ops on a nil
+// receiver — the steady-state executor loop pays nothing (guarded by
+// testing.AllocsPerRun in obs_test.go). When enabled, each
+// instrumented goroutine writes into its own fixed-capacity ring
+// buffer of spans under an uncontended mutex, so tracing is race-clean
+// by construction and never grows memory without bound.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultBufCap is the per-goroutine span ring capacity. At ~64 bytes
+// per span this bounds each instrumented goroutine to ~1 MiB of trace
+// memory; older spans are overwritten (and counted as dropped).
+const DefaultBufCap = 1 << 14
+
+// Tracer collects spans from a set of per-goroutine ring buffers and
+// renders them as one Chrome trace-event JSON document.
+type Tracer struct {
+	start  time.Time
+	bufCap int
+
+	mu   sync.Mutex
+	bufs []*TraceBuf
+}
+
+// NewTracer creates an empty tracer. Timestamps in the emitted trace
+// are microseconds since this call (monotonic clock).
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), bufCap: DefaultBufCap}
+}
+
+// SetBufCap changes the ring capacity used for buffers created after
+// the call (tests shrink it to exercise wrap-around).
+func (t *Tracer) SetBufCap(n int) {
+	if n > 0 {
+		t.bufCap = n
+	}
+}
+
+// global is the process-wide tracer, nil when tracing is disabled.
+var global atomic.Pointer[Tracer]
+
+// StartTracing installs a fresh global tracer. Components constructed
+// afterwards (via NewBuf) record spans into it; components constructed
+// before keep their nil no-op buffers.
+func StartTracing() *Tracer {
+	t := NewTracer()
+	global.Store(t)
+	return t
+}
+
+// StopTracing uninstalls and returns the global tracer (nil if tracing
+// was not on). The returned tracer can still be exported.
+func StopTracing() *Tracer { return global.Swap(nil) }
+
+// Tracing reports whether a global tracer is installed.
+func Tracing() bool { return global.Load() != nil }
+
+// NewBuf returns a span buffer registered with the global tracer for
+// one goroutine (pid groups related buffers — e.g. one worker process —
+// and name labels the thread track). Returns nil when tracing is
+// disabled; all TraceBuf methods are nil-safe no-ops.
+func NewBuf(pid int, name string) *TraceBuf {
+	t := global.Load()
+	if t == nil {
+		return nil
+	}
+	return t.NewBuf(pid, name)
+}
+
+// NewBuf registers a span ring with this tracer.
+func (t *Tracer) NewBuf(pid int, name string) *TraceBuf {
+	if t == nil {
+		return nil
+	}
+	b := &TraceBuf{tracer: t, pid: pid, name: name, evs: make([]span, t.bufCap)}
+	t.mu.Lock()
+	b.tid = len(t.bufs) + 1
+	t.bufs = append(t.bufs, b)
+	t.mu.Unlock()
+	return b
+}
+
+// span is one recorded event. Argument keys must be static strings —
+// the recording path never allocates.
+type span struct {
+	name    string
+	cat     string
+	argKey  string
+	argVal  int64
+	arg2Key string
+	arg2Val int64
+	start   time.Duration // since tracer start
+	dur     time.Duration
+	instant bool
+}
+
+// TraceBuf is one goroutine's span ring. A single goroutine records
+// into it; the mutex only serializes recording against export.
+type TraceBuf struct {
+	tracer *Tracer
+	pid    int
+	tid    int
+	name   string
+
+	mu      sync.Mutex
+	evs     []span
+	head    int // next write slot
+	n       int // live span count
+	dropped int64
+}
+
+// Begin returns the start timestamp for a span, or the zero time when
+// tracing is off (so callers can pass it straight to End).
+func (b *TraceBuf) Begin() time.Time {
+	if b == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End records a complete span from start to now. start may also come
+// from a plain time.Now() call — the runtime reuses the timestamps it
+// already takes for the execution report.
+func (b *TraceBuf) End(name, cat string, start time.Time) {
+	if b == nil {
+		return
+	}
+	b.endArgs(name, cat, start, "", 0, "", 0)
+}
+
+// EndN records a span carrying one integer argument.
+func (b *TraceBuf) EndN(name, cat string, start time.Time, key string, val int64) {
+	if b == nil {
+		return
+	}
+	b.endArgs(name, cat, start, key, val, "", 0)
+}
+
+// EndNN records a span carrying two integer arguments.
+func (b *TraceBuf) EndNN(name, cat string, start time.Time, k1 string, v1 int64, k2 string, v2 int64) {
+	if b == nil {
+		return
+	}
+	b.endArgs(name, cat, start, k1, v1, k2, v2)
+}
+
+func (b *TraceBuf) endArgs(name, cat string, start time.Time, k1 string, v1 int64, k2 string, v2 int64) {
+	if start.IsZero() {
+		// The span began before tracing was enabled on this buffer.
+		start = b.tracer.start
+	}
+	b.record(span{
+		name: name, cat: cat,
+		argKey: k1, argVal: v1, arg2Key: k2, arg2Val: v2,
+		start: start.Sub(b.tracer.start), dur: time.Since(start),
+	})
+}
+
+// Instant records a zero-duration marker event.
+func (b *TraceBuf) Instant(name, cat string) {
+	if b == nil {
+		return
+	}
+	b.record(span{name: name, cat: cat, start: time.Since(b.tracer.start), instant: true})
+}
+
+func (b *TraceBuf) record(s span) {
+	b.mu.Lock()
+	b.evs[b.head] = s
+	b.head = (b.head + 1) % len(b.evs)
+	if b.n < len(b.evs) {
+		b.n++
+	} else {
+		b.dropped++
+	}
+	b.mu.Unlock()
+}
+
+// TraceEvent is one entry of the Chrome trace-event format ("X"
+// complete spans, "i" instants, "M" metadata).
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"` // microseconds since trace start
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Events snapshots every buffer's spans as trace events sorted by
+// timestamp (metadata thread-name events first).
+func (t *Tracer) Events() []TraceEvent {
+	t.mu.Lock()
+	bufs := append([]*TraceBuf(nil), t.bufs...)
+	t.mu.Unlock()
+
+	var out []TraceEvent
+	for _, b := range bufs {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: b.pid, Tid: b.tid,
+			Args: map[string]any{"name": b.name},
+		})
+		b.mu.Lock()
+		for i := 0; i < b.n; i++ {
+			s := b.evs[(b.head-b.n+i+len(b.evs))%len(b.evs)]
+			ev := TraceEvent{
+				Name: s.name, Cat: s.cat, Ph: "X",
+				Ts:  float64(s.start) / 1e3,
+				Dur: float64(s.dur) / 1e3,
+				Pid: b.pid, Tid: b.tid,
+			}
+			if s.instant {
+				ev.Ph, ev.Dur, ev.Scope = "i", 0, "t"
+			}
+			if s.argKey != "" {
+				ev.Args = map[string]any{s.argKey: s.argVal}
+				if s.arg2Key != "" {
+					ev.Args[s.arg2Key] = s.arg2Val
+				}
+			}
+			out = append(out, ev)
+		}
+		if b.dropped > 0 {
+			out = append(out, TraceEvent{
+				Name: "spans_dropped", Ph: "i", Ts: float64(time.Since(t.start)) / 1e3,
+				Pid: b.pid, Tid: b.tid, Scope: "t",
+				Args: map[string]any{"count": b.dropped},
+			})
+		}
+		b.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Ph == "M" != (out[j].Ph == "M") {
+			return out[i].Ph == "M"
+		}
+		return out[i].Ts < out[j].Ts
+	})
+	return out
+}
+
+// WriteJSON emits the Chrome trace-event document
+// ({"traceEvents": [...]}), loadable at ui.perfetto.dev.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: t.Events(), DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteFile writes the trace document to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"time"
 
 	"orion/internal/dsm"
+	"orion/internal/obs"
 )
 
 // Executor is one Orion worker process: it holds DistArray partitions,
@@ -33,6 +35,17 @@ type Executor struct {
 	misses int64
 	shards *shardSet
 
+	// Observability: the main goroutine's span ring (nil when tracing is
+	// off — all methods no-op) and cached metric handles. Counters are
+	// atomic adds on preallocated cells, so the steady-state block loop
+	// stays allocation-free whether or not obs is enabled.
+	trace     *obs.TraceBuf
+	mBlocks   *obs.Counter
+	mIters    *obs.Counter
+	mRotWait  *obs.Histogram
+	mPrefHit  *obs.Counter
+	mPrefMiss *obs.Counter
+
 	done chan error
 }
 
@@ -50,6 +63,12 @@ func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, e
 		localPrefetch: map[string]map[string]PrefetchFunc{},
 		rotateCh:      make(chan *Msg, 16),
 		done:          make(chan error, 1),
+		trace:         obs.NewBuf(id+1, fmt.Sprintf("exec%d", id)),
+		mBlocks:       obs.GetCounter("kernel.blocks"),
+		mIters:        obs.GetCounter("kernel.iterations"),
+		mRotWait:      obs.GetHistogram("rotation.wait.ns"),
+		mPrefHit:      obs.GetCounter("prefetch.hit"),
+		mPrefMiss:     obs.GetCounter("prefetch.miss"),
 	}
 	e.ctx = &Ctx{
 		exec:        e,
@@ -67,7 +86,7 @@ func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, e
 		ln.Close()
 		return nil, fmt.Errorf("runtime: executor %d dial master: %w", id, err)
 	}
-	e.master = newCodec(conn)
+	e.master = newPeerCodec(conn, fmt.Sprintf("exec%d/master", id))
 	if err := e.master.send(&Msg{Kind: MsgHello, ExecutorID: id, PeerAddr: peerAddr}); err != nil {
 		return nil, err
 	}
@@ -107,7 +126,7 @@ func (e *Executor) run() error {
 		if err != nil {
 			return fmt.Errorf("runtime: executor %d dial ring: %w", e.id, err)
 		}
-		e.sendTo = newCodec(conn)
+		e.sendTo = newPeerCodec(conn, fmt.Sprintf("exec%d/ring", e.id))
 		defer e.sendTo.close()
 	}
 
@@ -238,8 +257,13 @@ func (e *Executor) servePeer(c *codec) {
 func (e *Executor) partition(array string) *dsm.Partition { return e.parts[array] }
 
 // execBlock runs the kernel over this executor's samples whose time
-// coordinate falls inside the block, then rotates.
+// coordinate falls inside the block, then rotates. Section timings are
+// always collected (plain time.Now reads, no allocations) and feed the
+// per-loop execution report; spans are additionally recorded when
+// tracing is on.
 func (e *Executor) execBlock(msg *Msg, n int) error {
+	blockStart := time.Now()
+	var commNs, rotWaitNs int64
 	kernel := e.localKernels[msg.LoopName]
 	if kernel == nil {
 		var err error
@@ -300,19 +324,26 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 			if len(offs) == 0 {
 				continue
 			}
+			fetchStart := time.Now()
 			if err := e.bulkFetch(array, offs); err != nil {
 				return err
 			}
+			commNs += int64(time.Since(fetchStart))
+			e.trace.EndN("exec.prefetch", "exec", fetchStart, "offsets", int64(len(offs)))
 		}
 	}
 
+	kernelStart := time.Now()
 	if err := e.runKernel(kernel, block); err != nil {
 		return err
 	}
+	computeNs := int64(time.Since(kernelStart))
+	e.trace.EndN("exec.kernel", "exec", kernelStart, "iters", int64(len(block)))
 
 	// Ship buffered parameter-server writes to their shard owners (or
 	// the master for unsharded arrays): absolute writes first, then
 	// additive deltas.
+	flushStart := time.Now()
 	drained := e.ctx.drainServed()
 	arrays := make([]string, 0, len(drained))
 	for a := range drained {
@@ -340,6 +371,10 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 			}
 		}
 	}
+	if len(drained) > 0 {
+		commNs += int64(time.Since(flushStart))
+		e.trace.EndN("exec.flush", "exec", flushStart, "arrays", int64(len(drained)))
+	}
 
 	// Rotate time-partitioned arrays around the ring.
 	if msg.Rotated && n > 1 {
@@ -350,6 +385,7 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 			}
 		}
 		sort.Strings(names)
+		sendStart := time.Now()
 		for _, a := range names {
 			blob, err := e.parts[a].Encode()
 			if err != nil {
@@ -359,6 +395,9 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 				return err
 			}
 		}
+		commNs += int64(time.Since(sendStart))
+		e.trace.EndN("rotate.send", "exec", sendStart, "arrays", int64(len(names)))
+		waitStart := time.Now()
 		for range names {
 			in := <-e.rotateCh
 			p, err := dsm.DecodePartition(in.PartBlob)
@@ -367,11 +406,27 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 			}
 			e.parts[in.Array] = p
 		}
+		if len(names) > 0 {
+			rotWaitNs = int64(time.Since(waitStart))
+			e.trace.EndN("rotate.recv", "exec", waitStart, "arrays", int64(len(names)))
+		}
 	}
+
+	e.mBlocks.Inc()
+	e.mIters.Add(int64(len(block)))
+	e.mRotWait.Observe(rotWaitNs)
+	e.trace.EndNN("exec.block", "exec", blockStart, "iters", int64(len(block)), "step", int64(msg.StepIndex))
 
 	misses := e.misses
 	e.misses = 0
-	return e.master.send(&Msg{Kind: MsgBlockDone, ExecutorID: e.id, AccValue: float64(misses)})
+	return e.master.send(&Msg{
+		Kind: MsgBlockDone, ExecutorID: e.id, AccValue: float64(misses),
+		LoopName:      msg.LoopName,
+		StatIters:     int64(len(block)),
+		StatComputeNs: computeNs,
+		StatRotWaitNs: rotWaitNs,
+		StatCommNs:    commNs,
+	})
 }
 
 // runKernel executes the kernel over a block, converting panics (e.g. a

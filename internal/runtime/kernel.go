@@ -159,9 +159,11 @@ func (c *Ctx) ServedRead(array string, off int64) float64 {
 	}
 	if cache, ok := c.servedCache[array]; ok {
 		if v, ok2 := cache[off]; ok2 {
+			c.exec.mPrefHit.Inc()
 			return v + base
 		}
 	}
+	c.exec.mPrefMiss.Inc()
 	v, err := c.exec.fetchOne(array, off)
 	if err != nil {
 		panic(fmt.Sprintf("runtime: served read of %s[%d]: %v", array, off, err))

@@ -1,13 +1,23 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"orion/internal/dsm"
+	"orion/internal/obs"
 	"orion/internal/sched"
 )
+
+// ErrWorkerLost marks the failure of an executor connection while the
+// master still expected results (a worker died mid-loop). Callers can
+// detect it with errors.Is to distinguish partial-result aborts from
+// ordinary kernel errors.
+var ErrWorkerLost = errors.New("worker lost")
 
 // Master is the Orion coordinator (Fig. 3): the driver program talks to
 // it to distribute DistArrays, launch parallel for-loops, gather
@@ -33,6 +43,15 @@ type Master struct {
 	arrayDims  map[string][]int64
 	arrayDense map[string]bool
 	missCount  int64
+
+	// closed flips when Shutdown starts tearing connections down, so
+	// handleConn can tell an expected close from a worker dying mid-loop.
+	closed atomic.Bool
+
+	// Observability: the master's span buffer (nil when tracing is off)
+	// and the per-loop execution reports assembled from BlockDone stats.
+	trace   *obs.TraceBuf
+	reports map[string]*obs.LoopReport
 }
 
 // Listen creates a master accepting executor registrations at addr.
@@ -47,9 +66,13 @@ func Listen(t Transport, addr string, n int) (*Master, error) {
 		gatherResp: make(chan *Msg, n),
 		accumResp:  make(chan *Msg, n),
 		ackCh:      make(chan *Msg, n),
-		execErr:    make(chan error, n),
+		// Each connection can contribute both a MsgError and a
+		// connection-loss error; size the buffer so handlers never block.
+		execErr:    make(chan error, 2*n),
 		arrayDims:  map[string][]int64{},
 		arrayDense: map[string]bool{},
+		trace:      obs.NewBuf(0, "master"),
+		reports:    map[string]*obs.LoopReport{},
 	}
 	ln, err := t.Listen(addr)
 	if err != nil {
@@ -97,6 +120,9 @@ func (m *Master) WaitForExecutors() error {
 		if hello.ExecutorID < 0 || hello.ExecutorID >= n || m.conns[hello.ExecutorID] != nil {
 			return fmt.Errorf("runtime: master: bad executor id %d", hello.ExecutorID)
 		}
+		// The executor id is only known after the hello, so this side of
+		// the link counts messages (the executor side counts bytes too).
+		c.stats = obs.Peer(fmt.Sprintf("master/exec%d", hello.ExecutorID))
 		m.conns[hello.ExecutorID] = c
 		peers[hello.ExecutorID] = hello.PeerAddr
 	}
@@ -114,7 +140,13 @@ func (m *Master) handleConn(id int, c *codec) {
 	for {
 		msg, err := c.recv()
 		if err != nil {
-			return // connection closed (shutdown)
+			// Expected during Shutdown; otherwise the worker died while
+			// the master may still be waiting on its results — surface
+			// the loss so ParallelFor/Gather don't hang on the barrier.
+			if !m.closed.Load() {
+				m.execErr <- fmt.Errorf("runtime: executor %d connection failed (%v): %w", id, err, ErrWorkerLost)
+			}
+			return
 		}
 		switch msg.Kind {
 		case MsgBlockDone:
@@ -257,6 +289,9 @@ func (m *Master) ParallelFor(def LoopDef) error {
 			steps = 2*m.n - 1 // wavefront ramp-up and drain
 		}
 		for step := 0; step < steps; step++ {
+			// Begin before the sends so executor block spans nest inside
+			// the clock.step span in the emitted trace.
+			stepStart := m.trace.Begin()
 			for j := 0; j < m.n; j++ {
 				msg := &Msg{
 					Kind:      MsgExecBlock,
@@ -290,17 +325,77 @@ func (m *Master) ParallelFor(def LoopDef) error {
 			for done := 0; done < m.n; {
 				select {
 				case msg := <-m.blockDone:
-					m.mu.Lock()
-					m.missCount += int64(msg.AccValue)
-					m.mu.Unlock()
+					m.noteBlockDone(msg)
 					done++
 				case err := <-m.execErr:
 					return err
 				}
 			}
+			m.trace.EndNN("clock.step", "master", stepStart, "pass", int64(pass), "step", int64(step))
 		}
 	}
 	return nil
+}
+
+// noteBlockDone folds one executor's block stats into the prefetch-miss
+// counter and the per-loop execution report.
+func (m *Master) noteBlockDone(msg *Msg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.missCount += int64(msg.AccValue)
+	if msg.LoopName == "" {
+		return
+	}
+	r := m.reports[msg.LoopName]
+	if r == nil {
+		r = &obs.LoopReport{Loop: msg.LoopName}
+		m.reports[msg.LoopName] = r
+	}
+	r.Add(obs.WorkerStats{
+		Worker:    msg.ExecutorID,
+		Blocks:    1,
+		Iters:     msg.StatIters,
+		ComputeNs: msg.StatComputeNs,
+		RotWaitNs: msg.StatRotWaitNs,
+		CommNs:    msg.StatCommNs,
+	})
+}
+
+// Report returns a copy of the execution report accumulated for one
+// loop (nil if the loop has not run).
+func (m *Master) Report(loop string) *obs.LoopReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.reports[loop]
+	if r == nil {
+		return nil
+	}
+	out := &obs.LoopReport{Loop: r.Loop}
+	out.Merge(r)
+	return out
+}
+
+// CombinedReport merges every loop's report into one (nil when nothing
+// has run). Useful for drivers that define a fresh loop per pass.
+func (m *Master) CombinedReport() *obs.LoopReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.reports) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m.reports))
+	for name := range m.reports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := &obs.LoopReport{Loop: names[0]}
+	if len(names) > 1 {
+		out.Loop = fmt.Sprintf("%s (+%d more)", names[0], len(names)-1)
+	}
+	for _, name := range names {
+		out.Merge(m.reports[name])
+	}
+	return out
 }
 
 // Misses returns the cumulative number of prefetch-miss slow-path
@@ -373,6 +468,7 @@ func (m *Master) AccumSum(name string) (float64, error) {
 
 // Shutdown stops all executors.
 func (m *Master) Shutdown() {
+	m.closed.Store(true)
 	for _, c := range m.conns {
 		c.send(&Msg{Kind: MsgShutdown})
 		c.close()

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"net"
 	"sync"
+
+	"orion/internal/obs"
 )
 
 // MsgKind enumerates protocol messages.
@@ -91,6 +93,14 @@ type Msg struct {
 	AccName  string
 	AccValue float64
 
+	// BlockDone execution stats: where the executor's wall-clock went
+	// during the block. The master folds these into the per-loop
+	// execution report (obs.LoopReport).
+	StatIters     int64
+	StatComputeNs int64
+	StatRotWaitNs int64
+	StatCommNs    int64
+
 	// DefineLoop payload: the loop source, the synthesized prefetch
 	// slice (empty if none), the declared arrays/buffers, captured
 	// driver globals, and accumulator names. Backend selects the loop
@@ -128,28 +138,49 @@ type IterSample struct {
 }
 
 // codec wraps a connection with gob encode/decode and a write lock so
-// multiple goroutines may send on the same connection.
+// multiple goroutines may send on the same connection. stats, when
+// set, counts messages per peer (atomic increments — allocation-free).
 type codec struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
-	wmu  sync.Mutex
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	wmu   sync.Mutex
+	stats *obs.PeerStats
 }
 
 func newCodec(conn net.Conn) *codec {
 	return &codec{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 }
 
+// newPeerCodec builds a codec whose traffic is counted under the given
+// peer label in the default obs registry: message counts at the codec
+// layer, byte counts via a countingConn wrapped around the connection.
+func newPeerCodec(conn net.Conn, label string) *codec {
+	stats := obs.Peer(label)
+	c := newCodec(&countingConn{Conn: conn, stats: stats})
+	c.stats = stats
+	return c
+}
+
 func (c *codec) send(m *Msg) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.enc.Encode(m)
+	if err := c.enc.Encode(m); err != nil {
+		return err
+	}
+	if c.stats != nil {
+		c.stats.MsgsSent.Inc()
+	}
+	return nil
 }
 
 func (c *codec) recv() (*Msg, error) {
 	var m Msg
 	if err := c.dec.Decode(&m); err != nil {
 		return nil, err
+	}
+	if c.stats != nil {
+		c.stats.MsgsRecv.Inc()
 	}
 	return &m, nil
 }
@@ -160,7 +191,13 @@ func (c *codec) recv() (*Msg, error) {
 // rotation handling).
 func (c *codec) recvInto(m *Msg) error {
 	m.reset()
-	return c.dec.Decode(m)
+	if err := c.dec.Decode(m); err != nil {
+		return err
+	}
+	if c.stats != nil {
+		c.stats.MsgsRecv.Inc()
+	}
+	return nil
 }
 
 func (c *codec) close() error { return c.conn.Close() }

@@ -161,7 +161,7 @@ func (s *shardSet) client(id int) (*codec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runtime: dialing shard owner %d: %w", id, err)
 	}
-	c = newCodec(conn)
+	c = newPeerCodec(conn, fmt.Sprintf("exec%d/peer%d", s.selfID, id))
 	s.mu.Lock()
 	if existing := s.clients[id]; existing != nil {
 		s.mu.Unlock()

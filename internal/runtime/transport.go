@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"orion/internal/obs"
 )
 
 // Transport abstracts connection establishment so the same runtime runs
@@ -110,3 +112,23 @@ type inprocAddr string
 
 func (a inprocAddr) Network() string { return "inproc" }
 func (a inprocAddr) String() string  { return string(a) }
+
+// countingConn wraps a connection and feeds per-peer byte counters.
+// Counts are atomic adds on preallocated counters, so the wrapper adds
+// no allocations to the transport hot path.
+type countingConn struct {
+	net.Conn
+	stats *obs.PeerStats
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.stats.BytesRecv.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.stats.BytesSent.Add(int64(n))
+	return n, err
+}
