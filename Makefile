@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke vet-examples fuzz bench-baseline bench-obs
+.PHONY: check fmt vet build test race bench-smoke vet-examples fuzz bench-baseline bench-obs golden-plans golden-plans-check
 
-check: fmt vet build test race bench-smoke
+check: fmt vet build test race bench-smoke golden-plans-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -51,7 +51,18 @@ vet-examples:
 		examples/lda_dsl/lda.orion examples/vet_demo/fixed.orion
 	! $(GO) run ./cmd/orion-vet examples/vet_demo/unsafe.orion
 
-# Short fuzzing sessions over the DSL front end.
+# Regenerate the committed golden plan artifacts (one per examples/
+# program) after an intentional planning or serialization change.
+golden-plans:
+	ORION_UPDATE_GOLDEN=1 $(GO) test ./internal/plan -run TestGolden
+
+# Gate: fail when the compiled plans drift from their committed goldens.
+golden-plans-check:
+	$(GO) test ./internal/plan -run TestGolden
+
+# Short fuzzing sessions over the DSL front end and the plan-artifact
+# decoders.
 fuzz:
 	$(GO) test ./internal/lang -fuzz 'FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/lang -fuzz FuzzParseProgram -fuzztime 30s
+	$(GO) test ./internal/plan -fuzz FuzzDecodeArtifact -fuzztime 30s

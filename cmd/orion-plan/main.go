@@ -1,0 +1,189 @@
+// Command orion-plan compiles, inspects, and compares Orion plan
+// artifacts — the serialized output of the static parallelization
+// pipeline (internal/plan).
+//
+// Subcommands:
+//
+//	orion-plan compile [-workers N] [-binary] [-o out] prog.orion
+//	    Run the static pipeline over the program and write the plan
+//	    artifact (JSON by default, the compact binary encoding with
+//	    -binary) to out or stdout.
+//
+//	orion-plan show <artifact | prog.orion>
+//	    Print a human-readable description of an artifact. A .orion
+//	    argument is compiled on the fly; anything else is decoded as a
+//	    serialized artifact (JSON or binary).
+//
+//	orion-plan diff <a> <b>
+//	    Compare two artifacts (each argument resolved like show) and
+//	    print the field-level delta. Exit 0 when the plans are
+//	    identical, 1 when they differ, 2 on error.
+//
+// Exit status: 0 on success, 1 when diff finds differences (or compile
+// hits program errors), 2 on usage or I/O problems.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"orion/internal/check"
+	"orion/internal/diag"
+	"orion/internal/plan"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "compile":
+		os.Exit(cmdCompile(os.Args[2:]))
+	case "show":
+		os.Exit(cmdShow(os.Args[2:]))
+	case "diff":
+		os.Exit(cmdDiff(os.Args[2:]))
+	case "-h", "-help", "--help", "help":
+		usage()
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "orion-plan: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  orion-plan compile [-workers N] [-binary] [-o out] prog.orion
+  orion-plan show <artifact | prog.orion>
+  orion-plan diff <a> <b>
+`)
+}
+
+func cmdCompile(args []string) int {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	workers := fs.Int("workers", 4, "worker count the plan is materialized for")
+	binary := fs.Bool("binary", false, "write the compact binary encoding instead of JSON")
+	out := fs.String("o", "", "output `file` (default stdout)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "orion-plan compile: exactly one program file expected")
+		return 2
+	}
+
+	art, code := compileProgram(fs.Arg(0), *workers)
+	if art == nil {
+		return code
+	}
+	var blob []byte
+	if *binary {
+		blob = art.EncodeBinary()
+	} else {
+		var err error
+		blob, err = art.EncodeJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orion-plan:", err)
+			return 2
+		}
+	}
+	if *out == "" {
+		os.Stdout.Write(blob)
+		return 0
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "orion-plan:", err)
+		return 2
+	}
+	return 0
+}
+
+func cmdShow(args []string) int {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	workers := fs.Int("workers", 4, "worker count when compiling a .orion program on the fly")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "orion-plan show: exactly one artifact or program file expected")
+		return 2
+	}
+	art, code := resolveArtifact(fs.Arg(0), *workers)
+	if art == nil {
+		return code
+	}
+	fmt.Print(art.Describe())
+	return 0
+}
+
+func cmdDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	workers := fs.Int("workers", 4, "worker count when compiling .orion programs on the fly")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "orion-plan diff: exactly two artifact or program files expected")
+		return 2
+	}
+	a, code := resolveArtifact(fs.Arg(0), *workers)
+	if a == nil {
+		return code
+	}
+	b, code := resolveArtifact(fs.Arg(1), *workers)
+	if b == nil {
+		return code
+	}
+	lines := plan.Diff(a, b)
+	if len(lines) == 0 {
+		fmt.Printf("plans are identical (%s, hash %.12s)\n", a.Strategy, a.ContentHash)
+		return 0
+	}
+	fmt.Printf("--- %s\n+++ %s\n", fs.Arg(0), fs.Arg(1))
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	return 1
+}
+
+// resolveArtifact turns a CLI argument into an artifact: .orion files
+// are compiled on the fly; everything else is read and decoded as a
+// serialized artifact (JSON or binary sniffed by plan.Decode).
+func resolveArtifact(path string, workers int) (*plan.Artifact, int) {
+	if strings.HasSuffix(path, ".orion") {
+		return compileProgram(path, workers)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orion-plan:", err)
+		return nil, 2
+	}
+	art, err := plan.Decode(blob)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orion-plan: %s: %v\n", path, err)
+		return nil, 2
+	}
+	return art, 0
+}
+
+// compileProgram runs the static pipeline over a .orion program and
+// materializes its plan artifact. Diagnostics are rendered to stderr;
+// error diagnostics abort with exit code 1.
+func compileProgram(path string, workers int) (*plan.Artifact, int) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orion-plan:", err)
+		return nil, 2
+	}
+	src := string(b)
+	res := check.Source(src, check.Options{File: path})
+	if res.Diags.HasErrors() {
+		diag.Render(os.Stderr, res.Diags, map[string]string{path: src})
+		return nil, 1
+	}
+	art, err := res.BuildArtifact(workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "orion-plan:", err)
+		return nil, 1
+	}
+	return art, 0
+}

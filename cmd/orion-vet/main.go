@@ -12,8 +12,11 @@
 //
 // Flags:
 //
-//	-json     emit a machine-readable JSON report instead of text
-//	-explain  also print the strategy-explanation trail per file
+//	-json      emit a machine-readable JSON report instead of text
+//	-explain   also print the strategy-explanation trail per file
+//	-plan art  also vet the serialized plan artifact at path art against
+//	           each program: schema-version or content-hash drift is
+//	           reported as ORN108 (stale cache detection)
 //
 // Exit status: 0 when no file has error diagnostics, 1 when at least
 // one does, 2 on usage or I/O problems.
@@ -47,14 +50,25 @@ type report struct {
 func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report")
 	explain := flag.Bool("explain", false, "print the strategy-explanation trail")
+	planPath := flag.String("plan", "", "vet the serialized plan `artifact` against each program (ORN108 on drift)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: orion-vet [-json] [-explain] file.orion...\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: orion-vet [-json] [-explain] [-plan artifact] file.orion...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var planBlob []byte
+	if *planPath != "" {
+		var err error
+		planBlob, err = os.ReadFile(*planPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "orion-vet:", err)
+			os.Exit(2)
+		}
 	}
 
 	rep := report{Files: []fileReport{}}
@@ -68,7 +82,12 @@ func main() {
 		src := string(b)
 		sources[path] = src
 
-		res := check.Source(src, check.Options{File: path})
+		var res *check.Result
+		if planBlob != nil {
+			res = check.CheckArtifact(planBlob, *planPath, src, check.Options{File: path})
+		} else {
+			res = check.Source(src, check.Options{File: path})
+		}
 		fr := fileReport{File: path, Diagnostics: append([]diag.Diagnostic{}, res.Diags...)}
 		if res.Plan != nil {
 			fr.Strategy = res.Plan.Kind.String()

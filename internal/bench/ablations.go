@@ -7,6 +7,7 @@ import (
 	"orion/internal/engine"
 	"orion/internal/metrics"
 	"orion/internal/optim"
+	"orion/internal/plan"
 	"orion/internal/sched"
 )
 
@@ -40,7 +41,7 @@ func AblationSkew(s Scale) (*Report, error) {
 		return mx
 	}
 	equal := maxLoad(sched.NewRangePartitioner(cfg.Rows, workers))
-	hist := maxLoad(sched.NewHistogramPartitioner(weights, workers))
+	hist := maxLoad(plan.BalancedPartitioner(weights, workers))
 	ideal := int64(len(r.I)) / int64(workers)
 
 	body := metrics.Table([]string{"Partitioning", "Hottest worker (samples)", "vs ideal"}, [][]string{

@@ -64,6 +64,13 @@ type Result struct {
 	// (caller-supplied or estimated from declared extents); the ORN107
 	// rotation-ratio lint reads it.
 	arrayBytes map[string]int64
+	// schedOpts is the fully resolved planning options (defaults and
+	// size estimates applied) — the exact inputs a plan artifact's
+	// content hash covers (BuildArtifact, CheckArtifact).
+	schedOpts sched.Options
+	// env is the environment the loop was analyzed against, kept for
+	// prefetch-slice synthesis when materializing an artifact.
+	env *lang.Env
 }
 
 // Deps returns the dependence-vector set, or nil before that pass.
@@ -112,7 +119,7 @@ func errToDiag(err error, file string) diag.Diagnostic {
 // Run vets an already-parsed loop against an environment — the entry
 // point driver.ParallelFor routes through.
 func Run(loop *lang.Loop, env *lang.Env, opts Options) *Result {
-	r := &Result{Loop: loop}
+	r := &Result{Loop: loop, env: env}
 
 	// Pass 1: front-end analysis.
 	spec, diags := lang.AnalyzeDiags(loop, env, opts.File)
@@ -148,6 +155,7 @@ func Run(loop *lang.Loop, env *lang.Env, opts Options) *Result {
 		}
 	}
 	r.arrayBytes = sopts.ArrayBytes
+	r.schedOpts = sopts
 	plan, err := sched.NewFromDeps(spec, detail.Set, sopts)
 	if err != nil {
 		r.Diags.Add(diag.Errorf(diag.CodeBadSpec, r.pos(loop.At, opts),

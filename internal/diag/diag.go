@@ -32,6 +32,8 @@
 //	                 (closure-compiled or the reference interpreter)
 //	ORN107  info     expected rotation/compute byte ratio of the chosen
 //	                 plan (compare against orion-run -report)
+//	ORN108  error    serialized plan artifact is stale: schema-version
+//	                 or content-hash mismatch vs the current program
 //	ORN201  error    loop is not parallelizable
 //	ORN202  warning  loop requires a unimodular transformation, which
 //	                 the distributed runtime does not execute
@@ -63,6 +65,7 @@ const (
 	CodeRotatedWrite   = "ORN105"
 	CodeBackend        = "ORN106"
 	CodeRotationRatio  = "ORN107"
+	CodeStalePlan      = "ORN108"
 	CodeNotParallel    = "ORN201"
 	CodeNeedsTransform = "ORN202"
 	CodeWorkerLost     = "ORN301"

@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -34,6 +33,7 @@ import (
 	"orion/internal/ir"
 	"orion/internal/lang"
 	"orion/internal/obs"
+	"orion/internal/plan"
 	"orion/internal/runtime"
 	"orion/internal/sched"
 )
@@ -59,6 +59,11 @@ type Session struct {
 	// ParallelFor (each call defines a fresh loop), keyed into the
 	// master's per-loop execution reports.
 	lastKernel string
+
+	// planMem memoizes compiled plans within the session; planDisk
+	// (enabled by SetPlanCacheDir) persists artifacts across sessions.
+	planMem  map[string]*compiledLoop
+	planDisk *plan.Cache
 }
 
 var sessionSeq atomic.Int64
@@ -126,6 +131,7 @@ func newSession(tr runtime.Transport, m *runtime.Master, n int) *Session {
 		env:       &lang.Env{Arrays: map[string][]int64{}, Buffers: map[string]string{}},
 		arrays:    map[string]*dsm.DistArray{},
 		globals:   map[string]float64{},
+		planMem:   map[string]*compiledLoop{},
 	}
 }
 
@@ -237,11 +243,7 @@ func (s *Session) vet(src string) (*check.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sopts := sched.DefaultOptions()
-	sopts.ArrayBytes = map[string]int64{}
-	for name, a := range s.arrays {
-		sopts.ArrayBytes[name] = int64(a.Len()) * 8
-	}
+	sopts := s.schedOptions()
 	globals := make([]string, 0, len(s.globals))
 	for g := range s.globals {
 		globals = append(globals, g)
@@ -280,83 +282,57 @@ func (s *Session) CombinedReport() *obs.LoopReport { return s.master.CombinedRep
 // ParallelFor it succeeds on a not-parallelizable loop (the verdict IS
 // the result); it errors only when planning could not finish.
 func (s *Session) PlanOf(src string) (*ir.LoopSpec, *dep.Set, *sched.Plan, error) {
-	res, err := s.vet(src)
-	if err != nil && (res == nil || res.Plan == nil) {
+	e, err := s.planFor(src, s.env.Ordered)
+	if err != nil && (e == nil || e.plan == nil) {
 		return nil, nil, nil, err
 	}
-	return res.Spec, res.Deps(), res.Plan, nil
+	return e.spec, e.deps, e.plan, nil
 }
 
 // ParallelFor is @parallel_for: it analyzes, plans, and executes the
 // loop on the distributed runtime, then gathers updated DistArrays back
-// into the driver's copies.
+// into the driver's copies. An unchanged program re-uses the session's
+// cached plan artifact instead of re-running the static pipeline.
 func (s *Session) ParallelFor(src string, options ...Option) (*sched.Plan, error) {
 	o := pfOpts{passes: 1}
 	for _, opt := range options {
 		opt(&o)
 	}
-	prevOrdered := s.env.Ordered
-	s.env.Ordered = o.ordered
-	defer func() { s.env.Ordered = prevOrdered }()
-
-	res, err := s.vet(src)
-	if err != nil && (res == nil || res.Plan == nil) {
+	e, err := s.planFor(src, o.ordered)
+	if err != nil && (e == nil || e.plan == nil) {
 		return nil, err
 	}
-	loop, spec, plan := res.Loop, res.Spec, res.Plan
 
 	// Every inherited (read-only driver) variable must have a value —
 	// catching this here gives a clear error instead of a worker-side
 	// kernel failure.
 	accums := map[string]bool{}
-	if loopAccs := lang.Accumulators(loop); loopAccs != nil {
+	if loopAccs := lang.Accumulators(e.loop); loopAccs != nil {
 		for _, a := range loopAccs {
 			accums[a] = true
 		}
 	}
-	for _, v := range spec.Inherited {
+	for _, v := range e.spec.Inherited {
 		if _, ok := s.globals[v]; !ok && !accums[v] {
 			return nil, fmt.Errorf("driver: loop inherits %q but no global is set (SetGlobal)", v)
 		}
 	}
 
-	switch plan.Kind {
+	switch e.plan.Kind {
 	case sched.TwoD:
 		if o.ordered {
-			return plan, s.runTwoDOrdered(loop, spec, plan, o.passes)
+			return e.plan, s.runTwoDOrdered(e, o.passes)
 		}
-		return plan, s.runTwoD(loop, spec, plan, o.passes)
+		return e.plan, s.runTwoD(e, o.passes)
 	case sched.OneD, sched.Independent:
-		return plan, s.runOneD(loop, spec, plan, o.passes)
+		return e.plan, s.runOneD(e, o.passes)
 	case sched.TwoDTransformed:
-		return plan, fmt.Errorf("driver: transformed loops are not supported by the distributed runtime: %s (use the engine simulator)",
-			blockingEvidence(res))
+		return e.plan, fmt.Errorf("driver: transformed loops are not supported by the distributed runtime: %s (use the engine simulator)",
+			e.evidence)
 	default:
-		return plan, fmt.Errorf("driver: loop is not parallelizable: %s; route the conflicting writes through a DistArray Buffer for data parallelism, or run serially",
-			blockingEvidence(res))
+		return e.plan, fmt.Errorf("driver: loop is not parallelizable: %s; route the conflicting writes through a DistArray Buffer for data parallelism, or run serially",
+			e.evidence)
 	}
-}
-
-// blockingEvidence names the dependence vectors and array references
-// that forced the strategy — the "why" for a refused ParallelFor.
-func blockingEvidence(res *check.Result) string {
-	if res.Detail == nil || len(res.Detail.Causes) == 0 {
-		var vecs []string
-		if d := res.Deps(); d != nil {
-			for _, v := range d.Vectors() {
-				vecs = append(vecs, v.String())
-			}
-		}
-		if len(vecs) == 0 {
-			return "no single dependence witness available"
-		}
-		return "blocking dependence vectors " + strings.Join(vecs, ", ")
-	}
-	parts := make([]string, 0, len(res.Detail.Causes))
-	for _, c := range res.Detail.Causes {
-		parts = append(parts, c.String())
-	}
-	return strings.Join(parts, "; ")
 }
 
 // Accumulate aggregates a loop-body accumulator across executors with +.

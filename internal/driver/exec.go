@@ -6,6 +6,8 @@ import (
 	"orion/internal/diag"
 	"orion/internal/ir"
 	"orion/internal/lang"
+	"orion/internal/obs"
+	"orion/internal/plan"
 	"orion/internal/runtime"
 	"orion/internal/sched"
 )
@@ -14,35 +16,25 @@ import (
 // iteration space and space-indexed arrays are partitioned by the space
 // dimension, time-indexed arrays rotate between executors, and anything
 // else is served by the master with synthesized bulk prefetching.
-func (s *Session) runTwoD(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan, passes int) error {
-	samples := s.iterSamples(spec)
-	spaceExt := spec.Dims[plan.SpaceDim]
-	timeExt := spec.Dims[plan.TimeDim]
+func (s *Session) runTwoD(e *compiledLoop, passes int) error {
+	samples := s.iterSamples(e.spec)
+	spacePart, timePart := s.partitioners(e, samples)
 
-	spaceW := make([]int64, spaceExt)
-	timeW := make([]int64, timeExt)
-	for _, sm := range samples {
-		spaceW[sm.Key[plan.SpaceDim]]++
-		timeW[sm.Key[plan.TimeDim]]++
-	}
-	spacePart := sched.NewHistogramPartitioner(spaceW, s.n)
-	timePart := sched.NewHistogramPartitioner(timeW, s.n)
-
-	gathered, err := s.placeArrays(spec, plan, spacePart, timePart)
+	gathered, err := s.placeArrays(e.spec, e.plan, spacePart, timePart)
 	if err != nil {
 		return err
 	}
-	if err := s.master.DistributeIterSpace(samples, plan.SpaceDim, spacePart); err != nil {
+	if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
 		return err
 	}
 
-	kernel, err := s.defineLoop(loop, spec, plan)
+	kernel, err := s.defineLoop(e)
 	if err != nil {
 		return err
 	}
 	if err := s.master.ParallelFor(runtime.LoopDef{
 		Kernel:   kernel,
-		TimeDim:  plan.TimeDim,
+		TimeDim:  e.plan.TimeDim,
 		TimePart: timePart,
 		Rotate:   true,
 		Passes:   passes,
@@ -58,42 +50,33 @@ func (s *Session) runTwoD(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan, 
 // of rotated — the wavefront guarantees concurrently running blocks
 // touch disjoint ranges, so direct served writes stay serializable and
 // the whole execution preserves lexicographic order.
-func (s *Session) runTwoDOrdered(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan, passes int) error {
-	samples := s.iterSamples(spec)
-	spaceExt := spec.Dims[plan.SpaceDim]
-	timeExt := spec.Dims[plan.TimeDim]
-	spaceW := make([]int64, spaceExt)
-	timeW := make([]int64, timeExt)
-	for _, sm := range samples {
-		spaceW[sm.Key[plan.SpaceDim]]++
-		timeW[sm.Key[plan.TimeDim]]++
-	}
-	spacePart := sched.NewHistogramPartitioner(spaceW, s.n)
-	timePart := sched.NewHistogramPartitioner(timeW, s.n)
+func (s *Session) runTwoDOrdered(e *compiledLoop, passes int) error {
+	samples := s.iterSamples(e.spec)
+	spacePart, timePart := s.partitioners(e, samples)
 
 	// Rewrite the plan: rotated arrays become served.
-	ordered := *plan
+	ordered := *e.plan
 	ordered.Arrays = nil
-	for _, ap := range plan.Arrays {
+	for _, ap := range e.plan.Arrays {
 		if ap.Place == sched.Rotated {
 			ap.Place = sched.Served
 		}
 		ordered.Arrays = append(ordered.Arrays, ap)
 	}
-	gathered, err := s.placeArrays(spec, &ordered, spacePart, nil)
+	gathered, err := s.placeArrays(e.spec, &ordered, spacePart, nil)
 	if err != nil {
 		return err
 	}
-	if err := s.master.DistributeIterSpace(samples, plan.SpaceDim, spacePart); err != nil {
+	if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
 		return err
 	}
-	kernel, err := s.defineLoop(loop, spec, &ordered)
+	kernel, err := s.defineLoop(e)
 	if err != nil {
 		return err
 	}
 	if err := s.master.ParallelFor(runtime.LoopDef{
 		Kernel:   kernel,
-		TimeDim:  plan.TimeDim,
+		TimeDim:  e.plan.TimeDim,
 		TimePart: timePart,
 		Ordered:  true,
 		Passes:   passes,
@@ -105,23 +88,18 @@ func (s *Session) runTwoDOrdered(loop *lang.Loop, spec *ir.LoopSpec, plan *sched
 
 // runOneD distributes and executes a 1D-parallelizable (or independent)
 // loop: one partition per executor, no rotation.
-func (s *Session) runOneD(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan, passes int) error {
-	samples := s.iterSamples(spec)
-	spaceExt := spec.Dims[plan.SpaceDim]
-	spaceW := make([]int64, spaceExt)
-	for _, sm := range samples {
-		spaceW[sm.Key[plan.SpaceDim]]++
-	}
-	spacePart := sched.NewHistogramPartitioner(spaceW, s.n)
+func (s *Session) runOneD(e *compiledLoop, passes int) error {
+	samples := s.iterSamples(e.spec)
+	spacePart, _ := s.partitioners(e, samples)
 
-	gathered, err := s.placeArrays(spec, plan, spacePart, nil)
+	gathered, err := s.placeArrays(e.spec, e.plan, spacePart, nil)
 	if err != nil {
 		return err
 	}
-	if err := s.master.DistributeIterSpace(samples, plan.SpaceDim, spacePart); err != nil {
+	if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
 		return err
 	}
-	kernel, err := s.defineLoop(loop, spec, plan)
+	kernel, err := s.defineLoop(e)
 	if err != nil {
 		return err
 	}
@@ -133,6 +111,46 @@ func (s *Session) runOneD(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan, 
 		return err
 	}
 	return s.gather(gathered)
+}
+
+// partitioners returns the executable space/time partitioners for this
+// run. The artifact already carries the histogram-balanced cuts
+// materialized at plan time; they are reused as long as the current
+// data still matches the weights they were balanced on (the artifact's
+// WeightsDigest). If the data drifted — arrays mutate between
+// ParallelFor calls — the partitions are re-balanced here (counted as
+// plan.repartition) without re-running analysis or planning.
+func (s *Session) partitioners(e *compiledLoop, samples []runtime.IterSample) (spacePart, timePart *sched.Partitioner) {
+	spaceW := make([]int64, e.spec.Dims[e.plan.SpaceDim])
+	var timeW []int64
+	if e.plan.TimeDim >= 0 {
+		timeW = make([]int64, e.spec.Dims[e.plan.TimeDim])
+	}
+	for _, sm := range samples {
+		spaceW[sm.Key[e.plan.SpaceDim]]++
+		if timeW != nil {
+			timeW[sm.Key[e.plan.TimeDim]]++
+		}
+	}
+
+	if art := e.art; art != nil && !art.Space.IsZero() &&
+		art.WeightsDigest == plan.WeightsDigest(spaceW, timeW) {
+		if sp, err := art.Space.Partitioner(); err == nil {
+			if timeW == nil {
+				return sp, nil
+			}
+			if tp, err := art.Time.Partitioner(); err == nil {
+				return sp, tp
+			}
+		}
+	}
+
+	obs.GetCounter("plan.repartition").Inc()
+	spacePart = plan.BalancedPartitioner(spaceW, s.n)
+	if timeW != nil {
+		timePart = plan.BalancedPartitioner(timeW, s.n)
+	}
+	return spacePart, timePart
 }
 
 // iterSamples flattens the iteration-space array into runtime samples.
@@ -148,10 +166,10 @@ func (s *Session) iterSamples(spec *ir.LoopSpec) []runtime.IterSample {
 // placeArrays distributes every referenced array per the plan and
 // returns the names to gather back afterwards. Served arrays get a
 // synthesized bulk-prefetch function when the slicer can produce one.
-func (s *Session) placeArrays(spec *ir.LoopSpec, plan *sched.Plan,
+func (s *Session) placeArrays(spec *ir.LoopSpec, pl *sched.Plan,
 	spacePart, timePart *sched.Partitioner) ([]string, error) {
 	var gathered []string
-	for _, ap := range plan.Arrays {
+	for _, ap := range pl.Arrays {
 		if ap.Array == spec.IterSpaceArray {
 			continue
 		}
@@ -205,18 +223,23 @@ func boundariesOf(p *sched.Partitioner, n int) []int64 {
 	return out
 }
 
-// defineLoop ships the loop (and its synthesized prefetch slice) to
-// every executor as a DefineLoop message; each executor compiles it
-// into an interpreter-backed kernel via internal/dslkernel. This is how
-// loop bodies reach workers in separate processes (cmd/orion-worker):
-// no per-loop registration, the code travels with the message.
-func (s *Session) defineLoop(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Plan) (string, error) {
-	name := fmt.Sprintf("dsl-%s-%d", spec.Name, s.loopSeq.Add(1))
+// defineLoop ships the loop — its source plus the serialized plan
+// artifact, which carries the strategy, the materialized partitions,
+// and the synthesized prefetch slice — to every executor as a
+// DefineLoop message; each executor compiles it into a kernel via
+// internal/dslkernel. This is how loop bodies reach workers in separate
+// processes (cmd/orion-worker): no per-loop registration, the code and
+// the plan travel with the message.
+func (s *Session) defineLoop(e *compiledLoop) (string, error) {
+	name := fmt.Sprintf("dsl-%s-%d", e.spec.Name, s.loopSeq.Add(1))
 	def := &runtime.Msg{
 		LoopName:  name,
-		LoopSrc:   loop.String(),
+		LoopSrc:   e.loop.String(),
 		ArrayDims: map[string][]int64{},
 		Buffers:   map[string]string{},
+	}
+	if e.art != nil {
+		def.PlanBlob = e.art.EncodeBinary()
 	}
 	for n2, d := range s.env.Arrays {
 		def.ArrayDims[n2] = append([]int64(nil), d...)
@@ -228,30 +251,19 @@ func (s *Session) defineLoop(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Pla
 		def.GlobalNames = append(def.GlobalNames, k)
 		def.GlobalVals = append(def.GlobalVals, v)
 	}
-	def.AccumNames = lang.Accumulators(loop)
+	def.AccumNames = lang.Accumulators(e.loop)
 	def.Backend = s.backend
 
 	// Surface the backend decision — identical to the one every worker's
 	// dslkernel.Compile will reach — as an Info diagnostic, and reject a
 	// pinned backend=compiled that cannot be honored before shipping.
-	backend, err := s.kernelBackend(loop)
+	backend, err := s.kernelBackend(e.loop)
 	if err != nil {
 		return "", err
 	}
 	s.lastDiags.Add(diag.Infof(diag.CodeBackend, diag.Pos{}, "",
 		"loop %s executes on the %s backend", name, backend))
 
-	// Synthesized prefetch for served reads (Section 4.4). Only arrays
-	// the plan actually serves from the master qualify — local and
-	// rotated arrays are read from executor partitions directly even
-	// when their subscripts are partially data-dependent.
-	if targets := servedReadTargets(spec, plan); len(targets) > 0 {
-		sliced, _, err := lang.PrefetchSlice(loop, s.env, targets...)
-		if err == nil && len(sliced.Body) > 0 {
-			def.PrefetchSrc = sliced.String()
-			def.PrefetchArrays = targets
-		}
-	}
 	if err := s.master.DefineLoop(def); err != nil {
 		return "", err
 	}
@@ -261,9 +273,9 @@ func (s *Session) defineLoop(loop *lang.Loop, spec *ir.LoopSpec, plan *sched.Pla
 	return name, nil
 }
 
-func servedReadTargets(spec *ir.LoopSpec, plan *sched.Plan) []string {
+func servedReadTargets(spec *ir.LoopSpec, pl *sched.Plan) []string {
 	served := map[string]bool{}
-	for _, ap := range plan.Arrays {
+	for _, ap := range pl.Arrays {
 		if ap.Place == sched.Served {
 			served[ap.Array] = true
 		}

@@ -14,6 +14,7 @@ import (
 
 	"orion/internal/lang"
 	"orion/internal/obs"
+	"orion/internal/plan"
 	"orion/internal/runtime"
 )
 
@@ -104,13 +105,24 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 		ms.run(ctx, key, val)
 	}
 
+	// The plan artifact shipped alongside the source carries the
+	// synthesized prefetch spec (and the full parallelization decision,
+	// for executors that want to inspect it) — no side-channel fields.
+	var pf *plan.Prefetch
+	if len(def.PlanBlob) > 0 {
+		art, err := plan.Decode(def.PlanBlob)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dslkernel: decoding shipped plan artifact: %w", err)
+		}
+		pf = art.Prefetch
+	}
 	prefetch := map[string]runtime.PrefetchFunc{}
-	if def.PrefetchSrc != "" && len(def.PrefetchArrays) > 0 {
-		sliced, err := lang.Parse(def.PrefetchSrc)
+	if pf != nil && pf.Src != "" && len(pf.Arrays) > 0 {
+		sliced, err := lang.Parse(pf.Src)
 		if err != nil {
 			return nil, nil, fmt.Errorf("dslkernel: parsing shipped prefetch slice: %w", err)
 		}
-		for _, target := range def.PrefetchArrays {
+		for _, target := range pf.Arrays {
 			target := target
 			prefetch[target] = func(key []int64, val float64) []int64 {
 				m := lang.NewMachine()

@@ -3,6 +3,7 @@ package engine
 import (
 	"orion/internal/cluster"
 	"orion/internal/dsm"
+	"orion/internal/plan"
 	"orion/internal/sched"
 )
 
@@ -45,7 +46,7 @@ func runPS(app App, cfg Config, managed bool, name string) *Result {
 	// worker-local and fresh (Bösen applications partition data by
 	// rows/documents).
 	weights := sched.Weights(rows, n, func(i int) int64 { return app.SampleAt(i).Row })
-	part := sched.NewHistogramPartitioner(weights, nw)
+	part := plan.BalancedPartitioner(weights, nw)
 	blocks := make([][]int, nw)
 	for i := 0; i < n; i++ {
 		w := part.PartOf(app.SampleAt(i).Row)

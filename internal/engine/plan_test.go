@@ -1,0 +1,46 @@
+package engine
+
+import (
+	"testing"
+
+	"orion/internal/obs"
+	"orion/internal/optim"
+)
+
+// TestAnalysisRunsOnce is the regression test for the planApp rework:
+// RunOrion2D used to re-run the full static pipeline (spec build,
+// dependence analysis, strategy search) on every call. With the
+// artifact cache, a second run over the same app/config must reuse the
+// materialized plan — observable as exactly one "plan.builds" increment
+// across both runs.
+func TestAnalysisRunsOnce(t *testing.T) {
+	builds := obs.GetCounter("plan.builds")
+	cfg := cfgN(4, 1)
+
+	b0 := builds.Value()
+	if _, err := RunOrion2D(newMFTest(21, optim.NewSGD(0.1)), cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	first := builds.Value() - b0
+	if first != 1 {
+		t.Fatalf("first run built %d artifacts, want 1", first)
+	}
+
+	b1 := builds.Value()
+	if _, err := RunOrion2D(newMFTest(21, optim.NewSGD(0.1)), cfg, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Value() - b1; got != 0 {
+		t.Errorf("second run re-ran analysis %d times, want 0 (artifact cache hit)", got)
+	}
+
+	// A different worker count is a different materialization: the cache
+	// must not serve partitions cut for another fleet size.
+	b2 := builds.Value()
+	if _, err := RunOrion2D(newMFTest(21, optim.NewSGD(0.1)), cfgN(2, 1), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := builds.Value() - b2; got != 1 {
+		t.Errorf("changed worker count built %d artifacts, want 1 (new materialization)", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"orion/internal/cluster"
+	"orion/internal/plan"
 	"orion/internal/sched"
 )
 
@@ -18,11 +19,11 @@ import (
 // Unlike runTwoD, time granularity must be a single transformed-time
 // value: dependences may have any positive time distance, so two blocks
 // spanning a time range could contain dependent iterations.
-func runTransformed(app App, cfg Config, plan *sched.Plan, prof costProfile) *Result {
+func runTransformed(app App, cfg Config, pl *sched.Plan, prof costProfile) *Result {
 	master := NewMasterStore(app, cfg.Seed)
 	n := app.NumSamples()
 	nw := cfg.Workers
-	t := plan.Transform
+	t := pl.Transform
 
 	// Transform every sample's coordinates; rebase so they start at 0.
 	type tcoord struct {
@@ -63,11 +64,14 @@ func runTransformed(app App, cfg Config, plan *sched.Plan, prof costProfile) *Re
 			maxSpace = c.space
 		}
 	}
+	// The transformed-space extents are data-dependent, so this
+	// partition is never stored in the artifact; it is materialized
+	// fresh per run through the plan layer's single balancing helper.
 	spaceW := make([]int64, maxSpace+1)
 	for _, c := range coords {
 		spaceW[c.space]++
 	}
-	spacePart := sched.NewHistogramPartitioner(spaceW, nw)
+	spacePart := plan.BalancedPartitioner(spaceW, nw)
 
 	planes := make([][][]int, timeExtent) // [time][worker][]sampleIdx
 	for t := range planes {

@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+
+	"orion/internal/dep"
+	"orion/internal/ir"
+	"orion/internal/sched"
+)
+
+// fuzzSeed builds a representative artifact to seed the corpus.
+func fuzzSeed() *Artifact {
+	spec := &ir.LoopSpec{
+		Name:           "seed",
+		IterSpaceArray: "ratings",
+		Dims:           []int64{100, 80},
+		Refs: []ir.ArrayRef{
+			{Array: "W", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}},
+			{Array: "H", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}},
+			{Array: "W", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}, IsWrite: true},
+			{Array: "H", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}, IsWrite: true},
+		},
+	}
+	deps, err := dep.Analyze(spec)
+	if err != nil {
+		panic(err)
+	}
+	pl, err := sched.NewFromDeps(spec, deps, sched.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	art, err := Build(Inputs{Spec: spec, Deps: deps, Plan: pl, Opts: sched.DefaultOptions(), Workers: 4})
+	if err != nil {
+		panic(err)
+	}
+	return art
+}
+
+// FuzzDecodeArtifact feeds arbitrary bytes through the sniffing decoder:
+// it must never panic, and anything it accepts must satisfy Validate and
+// survive a byte-identical re-encode (the round-trip guarantee holds
+// even for adversarial input).
+func FuzzDecodeArtifact(f *testing.F) {
+	seed := fuzzSeed()
+	bin := seed.EncodeBinary()
+	f.Add(bin)
+	if j, err := seed.EncodeJSON(); err == nil {
+		f.Add(j)
+	}
+	// Mutation starting points: truncations, version skew, junk.
+	f.Add(bin[:len(bin)/2])
+	f.Add([]byte("ORNPLAN1"))
+	f.Add([]byte(`{"version": 99}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		art, err := Decode(data)
+		if err != nil {
+			return // malformed input rejected cleanly — the point
+		}
+		if verr := art.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an artifact that fails Validate: %v", verr)
+		}
+		// Accepted artifacts must round-trip deterministically.
+		b1 := art.EncodeBinary()
+		again, err := DecodeBinary(b1)
+		if err != nil {
+			t.Fatalf("re-decode of accepted artifact failed: %v", err)
+		}
+		if b2 := again.EncodeBinary(); !bytes.Equal(b1, b2) {
+			t.Fatal("accepted artifact does not round-trip byte-identically")
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package plan_test
+
+// Golden-plan tests: every examples/ program has its compiled plan
+// artifact committed under testdata/golden/. The test recompiles each
+// program through the full static pipeline and fails when the artifact
+// drifts — catching accidental changes to planning decisions, the
+// content-hash recipe, or the serialization format. Regenerate with:
+//
+//	ORION_UPDATE_GOLDEN=1 go test ./internal/plan/... -run TestGolden
+//
+// (or `make golden-plans`).
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"orion/internal/check"
+	"orion/internal/plan"
+)
+
+// goldenWorkers is the worker count all golden artifacts are
+// materialized for.
+const goldenWorkers = 4
+
+// goldenPrograms maps each example program to its golden artifact name.
+var goldenPrograms = map[string]string{
+	"../../examples/quickstart/mf.orion":     "quickstart-mf.json",
+	"../../examples/wavefront/stencil.orion": "wavefront-stencil.json",
+	"../../examples/lda_dsl/lda.orion":       "lda_dsl-lda.json",
+	"../../examples/slr_prefetch/slr.orion":  "slr_prefetch-slr.json",
+	"../../examples/vet_demo/fixed.orion":    "vet_demo-fixed.json",
+	"../../examples/vet_demo/unsafe.orion":   "vet_demo-unsafe.json",
+}
+
+// compileExample runs the static pipeline over an example program and
+// materializes its artifact. Programs with error diagnostics (e.g. the
+// deliberately unsafe vet demo) still produce an artifact as long as
+// planning ran — the serial strategy is a valid plan.
+func compileExample(t *testing.T, path string) *plan.Artifact {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	res := check.Source(string(b), check.Options{File: filepath.Base(path)})
+	if res.Spec == nil || res.Plan == nil {
+		t.Fatalf("%s: static pipeline produced no plan: %v", path, res.Diags)
+	}
+	art, err := res.BuildArtifact(goldenWorkers)
+	if err != nil {
+		t.Fatalf("%s: BuildArtifact: %v", path, err)
+	}
+	return art
+}
+
+func TestGoldenPlans(t *testing.T) {
+	update := os.Getenv("ORION_UPDATE_GOLDEN") != ""
+	for prog, golden := range goldenPrograms {
+		t.Run(strings.TrimSuffix(golden, ".json"), func(t *testing.T) {
+			art := compileExample(t, prog)
+			got, err := art.EncodeJSON()
+			if err != nil {
+				t.Fatalf("EncodeJSON: %v", err)
+			}
+			path := filepath.Join("testdata", "golden", golden)
+			if update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden artifact (run `make golden-plans` to generate): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				dec, derr := plan.DecodeJSON(want)
+				if derr != nil {
+					t.Fatalf("golden artifact no longer decodes (%v); plan for %s drifted — run `make golden-plans` and review the diff", derr, prog)
+				}
+				t.Errorf("plan for %s drifted from its golden artifact — run `make golden-plans` and review the diff:\n%s",
+					prog, strings.Join(plan.Diff(dec, art), "\n"))
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip asserts the round-trip guarantee on every golden
+// artifact, for both encodings: encode → decode → re-encode must be
+// byte-identical, and the sniffing Decode must route each format
+// correctly.
+func TestGoldenRoundTrip(t *testing.T) {
+	for prog, golden := range goldenPrograms {
+		t.Run(strings.TrimSuffix(golden, ".json"), func(t *testing.T) {
+			art := compileExample(t, prog)
+
+			j1, err := art.EncodeJSON()
+			if err != nil {
+				t.Fatalf("EncodeJSON: %v", err)
+			}
+			fromJSON, err := plan.DecodeJSON(j1)
+			if err != nil {
+				t.Fatalf("DecodeJSON: %v", err)
+			}
+			j2, err := fromJSON.EncodeJSON()
+			if err != nil {
+				t.Fatalf("re-EncodeJSON: %v", err)
+			}
+			if !bytes.Equal(j1, j2) {
+				t.Errorf("JSON round trip not byte-identical for %s", prog)
+			}
+
+			b1 := art.EncodeBinary()
+			fromBin, err := plan.DecodeBinary(b1)
+			if err != nil {
+				t.Fatalf("DecodeBinary: %v", err)
+			}
+			b2 := fromBin.EncodeBinary()
+			if !bytes.Equal(b1, b2) {
+				t.Errorf("binary round trip not byte-identical for %s", prog)
+			}
+
+			// Cross-format: binary-decoded artifact must re-encode to the
+			// same JSON (no information lost in the compact encoding).
+			j3, err := fromBin.EncodeJSON()
+			if err != nil {
+				t.Fatalf("EncodeJSON after binary round trip: %v", err)
+			}
+			if !bytes.Equal(j1, j3) {
+				t.Errorf("binary encoding lost information for %s", prog)
+			}
+
+			// Sniffing Decode routes both formats.
+			if _, err := plan.Decode(j1); err != nil {
+				t.Errorf("Decode(json): %v", err)
+			}
+			if _, err := plan.Decode(b1); err != nil {
+				t.Errorf("Decode(binary): %v", err)
+			}
+		})
+	}
+}

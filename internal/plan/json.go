@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// EncodeJSON renders the artifact as canonical indented JSON. Field
+// order follows the Artifact struct declaration and map-free types keep
+// the output deterministic, so encode→decode→re-encode is
+// byte-identical.
+func (a *Artifact) EncodeJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("plan: encode artifact: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeJSON parses a JSON artifact, validating structure and rejecting
+// schema-version skew with ErrVersionSkew.
+func DecodeJSON(b []byte) (*Artifact, error) {
+	// Check the version before full decoding so skewed artifacts with
+	// otherwise-unparseable bodies still report the real cause.
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return nil, fmt.Errorf("plan: malformed JSON artifact: %w", err)
+	}
+	if probe.Version != Version {
+		return nil, fmt.Errorf("%w: artifact has version %d, this build expects %d", ErrVersionSkew, probe.Version, Version)
+	}
+	a := &Artifact{}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(a); err != nil {
+		return nil, fmt.Errorf("plan: malformed JSON artifact: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Decode sniffs the input and parses either encoding: the binary format
+// (by its magic) or JSON.
+func Decode(b []byte) (*Artifact, error) {
+	if len(b) >= len(binaryMagic) && bytes.Equal(b[:len(binaryMagic)], binaryMagic) {
+		return DecodeBinary(b)
+	}
+	return DecodeJSON(b)
+}

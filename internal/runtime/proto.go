@@ -101,20 +101,21 @@ type Msg struct {
 	StatRotWaitNs int64
 	StatCommNs    int64
 
-	// DefineLoop payload: the loop source, the synthesized prefetch
-	// slice (empty if none), the declared arrays/buffers, captured
-	// driver globals, and accumulator names. Backend selects the loop
-	// execution backend: "" (compiled with interpreter fallback),
-	// "compiled" (fallback is an error), or "interp".
-	LoopSrc        string
-	PrefetchSrc    string
-	PrefetchArrays []string
-	ArrayDims      map[string][]int64
-	Buffers        map[string]string
-	GlobalNames    []string
-	GlobalVals     []float64
-	AccumNames     []string
-	Backend        string
+	// DefineLoop payload: the loop source, the serialized plan artifact
+	// (binary internal/plan encoding — carries the strategy, the
+	// materialized partitions, and the synthesized prefetch spec, so
+	// executors re-derive nothing), the declared arrays/buffers,
+	// captured driver globals, and accumulator names. Backend selects
+	// the loop execution backend: "" (compiled with interpreter
+	// fallback), "compiled" (fallback is an error), or "interp".
+	LoopSrc     string
+	PlanBlob    []byte
+	ArrayDims   map[string][]int64
+	Buffers     map[string]string
+	GlobalNames []string
+	GlobalVals  []float64
+	AccumNames  []string
+	Backend     string
 
 	// Errors.
 	Err string

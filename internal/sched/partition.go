@@ -76,6 +76,32 @@ func NewHistogramPartitioner(weights []int64, parts int) *Partitioner {
 	return p
 }
 
+// FromBoundaries rebuilds a partitioner from its serialized form: the
+// extent and the len(parts)-1 cut points (Boundaries). This is how a
+// materialized plan artifact (internal/plan) turns back into an
+// executable partitioner without re-running the histogram balancing.
+func FromBoundaries(extent int64, boundaries []int64) (*Partitioner, error) {
+	p := &Partitioner{parts: len(boundaries) + 1, extent: extent}
+	prev := int64(0)
+	for _, b := range boundaries {
+		if b < prev || b > extent {
+			return nil, fmt.Errorf("sched: boundary %d outside [%d, %d]", b, prev, extent)
+		}
+		prev = b
+	}
+	p.boundaries = append([]int64(nil), boundaries...)
+	return p, nil
+}
+
+// Boundaries returns the partitioner's cut points: the first coordinate
+// of each partition 1..Parts-1. The returned slice is a copy.
+func (p *Partitioner) Boundaries() []int64 {
+	return append([]int64(nil), p.boundaries...)
+}
+
+// Extent returns the coordinate extent the partitioner covers.
+func (p *Partitioner) Extent() int64 { return p.extent }
+
 // PartOf returns the partition id owning coordinate v.
 func (p *Partitioner) PartOf(v int64) int {
 	// boundaries is sorted; find first boundary > v.

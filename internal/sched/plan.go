@@ -337,7 +337,9 @@ func maxInt(a, b int) int {
 func (p *Plan) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Strategy: %s\n", p.Kind)
-	fmt.Fprintf(&b, "Dependence vectors: %s\n", p.Deps)
+	if p.Deps != nil {
+		fmt.Fprintf(&b, "Dependence vectors: %s\n", p.Deps)
+	}
 	switch p.Kind {
 	case Independent, OneD:
 		fmt.Fprintf(&b, "Partition iteration space by dim %d\n", p.SpaceDim)
