@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench-smoke vet-examples fuzz bench-baseline bench-obs golden-plans golden-plans-check
+.PHONY: check fmt vet build test race chaos bench-smoke vet-examples fuzz bench-baseline bench-obs golden-plans golden-plans-check
 
-check: fmt vet build test race bench-smoke golden-plans-check
+check: fmt vet build test race chaos bench-smoke golden-plans-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -29,6 +29,12 @@ test:
 race:
 	$(GO) test -race ./internal/runtime/... ./internal/driver ./internal/engine \
 		./internal/dslkernel/... ./internal/obs
+
+# The seeded fault-injection suite: scripted connection failures at
+# chosen loop clocks, recovery from coordinated checkpoints, and
+# bitwise comparison against fault-free runs — under the race detector.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/runtime ./internal/driver
 
 # One iteration of every benchmark — catches bit-rotted benchmark code
 # without paying for real measurement.

@@ -8,9 +8,11 @@ import (
 	"math/rand"
 	"os"
 
+	"orion/internal/check"
 	"orion/internal/data"
 	"orion/internal/diag"
 	"orion/internal/driver"
+	"orion/internal/dsm"
 	"orion/internal/lang"
 	"orion/internal/runtime"
 )
@@ -87,8 +89,11 @@ end
 // backend selectable from the command line: "" compiles loop bodies to
 // closures and falls back to the interpreter outside the compiled
 // subset, "compiled" makes fallback an error, "interp" forces the
-// reference interpreter.
-func runDSL(app, backend string, workers, passes int, report bool) error {
+// reference interpreter. A non-empty ckptDir enables coordinated
+// checkpointing (and in-loop recovery from worker loss); when the
+// directory already holds a committed checkpoint from an earlier run
+// of the same program, training warm-starts from it.
+func runDSL(app, backend string, workers, passes int, report bool, ckptDir string, ckptEvery int64) error {
 	if workers <= 0 {
 		workers = 4
 	}
@@ -100,6 +105,8 @@ func runDSL(app, backend string, workers, passes int, report bool) error {
 	if err := sess.SetBackend(backend); err != nil {
 		return err
 	}
+	sess.SetCheckpointDir(ckptDir)
+	sess.SetCheckpointEvery(ckptEvery)
 
 	var (
 		src        string
@@ -211,6 +218,12 @@ func runDSL(app, backend string, workers, passes int, report bool) error {
 		passes = defPasses
 	}
 
+	if ckptDir != "" {
+		if err := resumeFromCheckpoint(os.Stderr, sess, app, src, ckptDir); err != nil {
+			return err
+		}
+	}
+
 	chosen, err := sess.KernelBackend(src)
 	if err != nil {
 		return err
@@ -231,6 +244,53 @@ func runDSL(app, backend string, workers, passes int, report bool) error {
 			fmt.Println()
 			fmt.Print(r.Render())
 		}
+	}
+	return nil
+}
+
+// resumeFromCheckpoint warm-starts the session from the newest
+// committed pass-boundary checkpoint in dir, if one exists: the
+// snapshotted arrays replace the freshly initialized ones, so a rerun
+// of a crashed (or simply interrupted) orion-run continues training
+// instead of starting over. The manifest's plan fingerprint must match
+// the current program's artifact — a positioned ORN303 rejects state
+// from a different program. Mid-pass snapshots are skipped; they are
+// only meaningful to in-loop recovery, which knows the exact ring
+// phase they were cut at.
+func resumeFromCheckpoint(w io.Writer, sess *driver.Session, app, src, dir string) error {
+	mans, err := dsm.ListCheckpoints(dir)
+	if err != nil || len(mans) == 0 {
+		return err
+	}
+	art, err := sess.PlanArtifact(src)
+	if err != nil {
+		return err
+	}
+	for _, man := range mans {
+		if man.ResumeStep != 0 {
+			continue
+		}
+		file := app + ".dsl"
+		pos := diag.Pos{File: file}
+		if loop, perr := lang.Parse(src); perr == nil {
+			pos.Line, pos.Col = loop.At.Line, loop.At.Col
+		}
+		if d := check.CheckResume(man.Loop, art.ContentHash, man.Fingerprint, pos); d != nil {
+			var l diag.List
+			l.Add(*d)
+			diag.Render(w, l, map[string]string{file: src})
+			return fmt.Errorf("resume rejected: %w", check.ErrResumeMismatch)
+		}
+		restored, err := dsm.RestoreCheckpoint(dir, man)
+		if err != nil {
+			return err
+		}
+		for _, a := range restored {
+			sess.RegisterArray(a)
+		}
+		fmt.Fprintf(w, "orion-run: resumed %d arrays from checkpoint clock %d in %s\n",
+			len(restored), man.Clock, dir)
+		return nil
 	}
 	return nil
 }

@@ -31,6 +31,9 @@ func main() {
 		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file here (-engine dsl; open at ui.perfetto.dev)")
 		report  = flag.Bool("report", false, "print the per-worker execution report after the run (-engine dsl)")
 		metrics = flag.String("metrics-addr", "", "serve runtime metrics (/debug/vars) and profiling (/debug/pprof/) on this address")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "coordinated checkpoint directory (-engine dsl); enables recovery from worker loss")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint every N global steps (0 = pass boundaries only; needs -checkpoint-dir)")
 	)
 	flag.Parse()
 
@@ -49,7 +52,7 @@ func main() {
 		if *trace != "" {
 			tracer = obs.StartTracing()
 		}
-		err := runDSL(*app, *backend, *workers, *passes, *report)
+		err := runDSL(*app, *backend, *workers, *passes, *report, *ckptDir, *ckptEvery)
 		if tracer != nil {
 			obs.StopTracing()
 			// Write the trace even when the run failed — a truncated

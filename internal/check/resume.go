@@ -1,0 +1,31 @@
+package check
+
+import (
+	"errors"
+
+	"orion/internal/diag"
+)
+
+// ErrResumeMismatch marks a checkpoint whose manifest fingerprint does
+// not match the plan artifact of the loop about to resume. Restoring
+// such state would feed one program's arrays into a different
+// program's schedule, so the resume is rejected (ORN303) instead.
+var ErrResumeMismatch = errors.New("check: checkpoint fingerprint does not match the plan artifact")
+
+// CheckResume validates that a checkpoint manifest recorded for
+// `loop` under fingerprint `got` may be restored into a program whose
+// plan artifact hashes to `want`. A nil return means the resume is
+// safe; otherwise the returned diagnostic is a positioned ORN303 error
+// and the caller should refuse to restore (errors.Is(d.Err(),
+// ErrResumeMismatch) style matching goes through the wrapped sentinel
+// in Resume-aware callers).
+func CheckResume(loop, want, got string, pos diag.Pos) *diag.Diagnostic {
+	if got == "" || want == "" || got == want {
+		return nil
+	}
+	d := diag.Errorf(diag.CodeResumeMismatch, pos,
+		"delete the checkpoint directory (or point -checkpoint-dir elsewhere) to start fresh, or rerun the program version the checkpoint was taken under",
+		"checkpoint for loop %q was taken under plan fingerprint %.12s but the current program's artifact hashes to %.12s; refusing to resume from incompatible state",
+		loop, got, want)
+	return &d
+}

@@ -1,0 +1,39 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"orion/internal/diag"
+)
+
+func TestCheckResumeAcceptsMatchingAndUnknownFingerprints(t *testing.T) {
+	if d := CheckResume("dsl-loop-1", "abc", "abc", diag.Pos{}); d != nil {
+		t.Fatalf("matching fingerprints rejected: %+v", d)
+	}
+	// Pre-fingerprint checkpoints (or artifact-less loops) are accepted:
+	// there is nothing to compare.
+	if d := CheckResume("dsl-loop-1", "abc", "", diag.Pos{}); d != nil {
+		t.Fatalf("empty manifest fingerprint rejected: %+v", d)
+	}
+	if d := CheckResume("dsl-loop-1", "", "abc", diag.Pos{}); d != nil {
+		t.Fatalf("empty artifact fingerprint rejected: %+v", d)
+	}
+}
+
+func TestCheckResumeRejectsMismatchWithORN303(t *testing.T) {
+	pos := diag.Pos{File: "mf.dsl", Line: 2, Col: 1}
+	d := CheckResume("dsl-loop-1", "fp-current-hash", "fp-manifest-hash", pos)
+	if d == nil {
+		t.Fatal("mismatched fingerprints accepted")
+	}
+	if d.Code != diag.CodeResumeMismatch {
+		t.Fatalf("code = %s, want %s", d.Code, diag.CodeResumeMismatch)
+	}
+	if d.Pos != pos {
+		t.Fatalf("pos = %+v, want %+v", d.Pos, pos)
+	}
+	if !strings.Contains(d.Message, "dsl-loop-1") {
+		t.Fatalf("message does not name the loop: %q", d.Message)
+	}
+}

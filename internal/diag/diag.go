@@ -38,6 +38,8 @@
 //	ORN202  warning  loop requires a unimodular transformation, which
 //	                 the distributed runtime does not execute
 //	ORN301  error    a worker died mid-loop; results are partial
+//	ORN303  error    checkpoint resume rejected: manifest fingerprint
+//	                 does not match the current plan artifact
 package diag
 
 import (
@@ -69,6 +71,7 @@ const (
 	CodeNotParallel    = "ORN201"
 	CodeNeedsTransform = "ORN202"
 	CodeWorkerLost     = "ORN301"
+	CodeResumeMismatch = "ORN303"
 )
 
 // Severity classifies a diagnostic. Errors abort compilation/execution;

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"orion/internal/check"
 	"orion/internal/dep"
@@ -64,6 +65,23 @@ type Session struct {
 	// (enabled by SetPlanCacheDir) persists artifacts across sessions.
 	planMem  map[string]*compiledLoop
 	planDisk *plan.Cache
+
+	// Fault tolerance: checkpointDir/Every configure coordinated
+	// loop-boundary checkpoints; maxRestarts bounds recovery attempts
+	// per ParallelFor; minWorkers/rejoinWait tune TCP fleet re-forming
+	// (SetRejoin). spawnExec (local sessions) respawns one in-process
+	// executor for generation `generation`. accumBase carries
+	// accumulator totals from before the last restore, so Accumulate
+	// stays exact across recoveries.
+	checkpointDir   string
+	checkpointEvery int64
+	maxRestarts     int
+	minWorkers      int
+	rejoinWait      time.Duration
+	spawnExec       func(i int) (<-chan error, error)
+	generation      atomic.Int64
+	accumBase       map[string]float64
+	recoveries      atomic.Int64
 }
 
 var sessionSeq atomic.Int64
@@ -73,26 +91,49 @@ var sessionSeq atomic.Int64
 // cmd-level executors against a TCP master and register kernels on both
 // sides; the in-process path exercises identical protocol code.)
 func NewLocalSession(n int) (*Session, error) {
+	return NewLocalSessionOver(runtime.NewInProc(), "", "", n)
+}
+
+// NewLocalSessionOver starts a session with n in-process executors
+// over an explicit transport — runtime.TCP{} to exercise real sockets
+// from one process, or a runtime.Chaos wrapper to inject scripted
+// faults. masterAddr and peerAddr may be empty for generated
+// in-process names; TCP transports should pass "127.0.0.1:0" for both
+// (each executor resolves its own port). Worker-loss recovery respawns
+// executors through the same transport.
+func NewLocalSessionOver(tr runtime.Transport, masterAddr, peerAddr string, n int) (*Session, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("driver: need at least one executor")
 	}
 	dslkernel.Install()
 	id := sessionSeq.Add(1)
-	tr := runtime.NewInProc()
-	masterAddr := fmt.Sprintf("session-%d-master", id)
+	if masterAddr == "" {
+		masterAddr = fmt.Sprintf("session-%d-master", id)
+	}
 	m, err := runtime.Listen(tr, masterAddr, n)
 	if err != nil {
 		return nil, err
 	}
 	s := newSession(tr, m, n)
-	ready := make(chan error, 1)
-	go func() { ready <- m.WaitForExecutors() }()
-	for i := 0; i < n; i++ {
-		e, err := runtime.NewExecutor(tr, masterAddr, fmt.Sprintf("session-%d-peer-%d", id, i), i)
+	s.spawnExec = func(i int) (<-chan error, error) {
+		pa := peerAddr
+		if pa == "" {
+			pa = fmt.Sprintf("session-%d-peer-%d-g%d", id, i, s.generation.Load())
+		}
+		e, err := runtime.NewExecutor(tr, s.master.Addr(), pa, i)
 		if err != nil {
 			return nil, err
 		}
-		s.execDone = append(s.execDone, e.Start())
+		return e.Start(), nil
+	}
+	ready := make(chan error, 1)
+	go func() { ready <- m.WaitForExecutors() }()
+	for i := 0; i < n; i++ {
+		done, err := s.spawnExec(i)
+		if err != nil {
+			return nil, err
+		}
+		s.execDone = append(s.execDone, done)
 	}
 	if err := <-ready; err != nil {
 		return nil, err
@@ -125,15 +166,68 @@ func (s *Session) Addr() string { return s.master.Addr() }
 
 func newSession(tr runtime.Transport, m *runtime.Master, n int) *Session {
 	return &Session{
-		transport: tr,
-		master:    m,
-		n:         n,
-		env:       &lang.Env{Arrays: map[string][]int64{}, Buffers: map[string]string{}},
-		arrays:    map[string]*dsm.DistArray{},
-		globals:   map[string]float64{},
-		planMem:   map[string]*compiledLoop{},
+		transport:   tr,
+		master:      m,
+		n:           n,
+		env:         &lang.Env{Arrays: map[string][]int64{}, Buffers: map[string]string{}},
+		arrays:      map[string]*dsm.DistArray{},
+		globals:     map[string]float64{},
+		planMem:     map[string]*compiledLoop{},
+		maxRestarts: 2,
+		rejoinWait:  10 * time.Second,
+		accumBase:   map[string]float64{},
 	}
 }
+
+// SetCheckpointDir enables coordinated checkpointing: every qualifying
+// ParallelFor writes consistent loop-boundary snapshots (DistArray
+// state + loop clock + plan fingerprint) into versioned manifests
+// under dir, and a worker loss recovers from the latest one instead of
+// failing fast with ORN301. Empty disables (the default).
+func (s *Session) SetCheckpointDir(dir string) { s.checkpointDir = dir }
+
+// SetCheckpointEvery checkpoints every n completed global steps
+// (clocks); n <= 0 restores the default of checkpointing at pass
+// boundaries only.
+func (s *Session) SetCheckpointEvery(n int64) { s.checkpointEvery = n }
+
+// SetMaxRestarts bounds recovery attempts per ParallelFor call
+// (default 2); past the bound the worker loss surfaces as the usual
+// ORN301 fail-fast error.
+func (s *Session) SetMaxRestarts(n int) { s.maxRestarts = n }
+
+// SetRejoin tunes TCP fleet re-forming after a worker loss: recovery
+// waits up to `wait` for workers to reconnect and proceeds — possibly
+// on a shrunken fleet, re-partitioning the lost worker's blocks onto
+// the survivors — once at least `min` are back. min <= 0 requires the
+// full fleet.
+func (s *Session) SetRejoin(min int, wait time.Duration) {
+	s.minWorkers = min
+	if wait > 0 {
+		s.rejoinWait = wait
+	}
+}
+
+// SetHeartbeat arms worker staleness detection: an executor silent for
+// longer than timeout mid-loop is treated as lost (see
+// runtime.Master.SetHeartbeat).
+func (s *Session) SetHeartbeat(timeout time.Duration) { s.master.SetHeartbeat(timeout) }
+
+// SetClockHook observes the master's global step clock before each
+// step is dispatched — the hook the chaos harness drives fault scripts
+// from.
+func (s *Session) SetClockHook(fn func(clock int64)) { s.master.SetClockHook(fn) }
+
+// Clock returns the number of completed global steps across all loops.
+func (s *Session) Clock() int64 { return s.master.Clock() }
+
+// Recoveries returns how many worker-loss recoveries this session has
+// performed.
+func (s *Session) Recoveries() int64 { return s.recoveries.Load() }
+
+// Workers returns the current fleet size (it can shrink when recovery
+// re-forms a TCP fleet from the survivors).
+func (s *Session) Workers() int { return s.n }
 
 // CreateArray declares a DistArray and returns it for driver-side
 // initialization (loading data, random init). The driver's copy is
@@ -335,9 +429,16 @@ func (s *Session) ParallelFor(src string, options ...Option) (*sched.Plan, error
 	}
 }
 
-// Accumulate aggregates a loop-body accumulator across executors with +.
+// Accumulate aggregates a loop-body accumulator across executors with
+// +. After a recovery the respawned executors only hold contributions
+// since the restored checkpoint; the checkpoint's own total (accumBase)
+// covers everything before it, so the sum stays exact.
 func (s *Session) Accumulate(name string) (float64, error) {
-	return s.master.AccumSum(name)
+	v, err := s.master.AccumSum(name)
+	if err != nil {
+		return 0, err
+	}
+	return v + s.accumBase[name], nil
 }
 
 // Misses returns the cumulative count of prefetch-miss slow-path

@@ -16,32 +16,38 @@ import (
 // iteration space and space-indexed arrays are partitioned by the space
 // dimension, time-indexed arrays rotate between executors, and anything
 // else is served by the master with synthesized bulk prefetching.
+//
+// Each run* builds an attempt function that distributes state for a
+// resume position and executes from it; runWithRecovery retries the
+// attempt through worker losses when checkpointing is enabled.
 func (s *Session) runTwoD(e *compiledLoop, passes int) error {
-	samples := s.iterSamples(e.spec)
-	spacePart, timePart := s.partitioners(e, samples)
-
-	gathered, err := s.placeArrays(e.spec, e.plan, spacePart, timePart)
-	if err != nil {
-		return err
-	}
-	if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
-		return err
-	}
-
-	kernel, err := s.defineLoop(e)
-	if err != nil {
-		return err
-	}
-	if err := s.master.ParallelFor(runtime.LoopDef{
-		Kernel:   kernel,
-		TimeDim:  e.plan.TimeDim,
-		TimePart: timePart,
-		Rotate:   true,
-		Passes:   passes,
-	}); err != nil {
-		return err
-	}
-	return s.gather(gathered)
+	kernel := s.nextLoopName(e)
+	return s.runWithRecovery(e, kernel, func(start resumePos) ([]string, error) {
+		samples := s.iterSamples(e.spec)
+		spacePart, timePart := s.partitioners(e, samples)
+		// Rotated arrays start at the resume step's ring phase, so a
+		// mid-pass resume reproduces the faulted run's placement.
+		gathered, err := s.placeArrays(e.spec, e.plan, spacePart, timePart, start.step)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
+			return nil, err
+		}
+		if err := s.defineLoopAs(e, kernel); err != nil {
+			return nil, err
+		}
+		return gathered, s.master.ParallelFor(runtime.LoopDef{
+			Kernel:     kernel,
+			TimeDim:    e.plan.TimeDim,
+			TimePart:   timePart,
+			Rotate:     true,
+			Passes:     passes,
+			StartPass:  start.pass,
+			StartStep:  start.step,
+			Checkpoint: s.checkpointSpec(e, gathered),
+		})
+	})
 }
 
 // runTwoDOrdered executes an ordered 2D loop as a wavefront over the
@@ -51,75 +57,79 @@ func (s *Session) runTwoD(e *compiledLoop, passes int) error {
 // touch disjoint ranges, so direct served writes stay serializable and
 // the whole execution preserves lexicographic order.
 func (s *Session) runTwoDOrdered(e *compiledLoop, passes int) error {
-	samples := s.iterSamples(e.spec)
-	spacePart, timePart := s.partitioners(e, samples)
-
-	// Rewrite the plan: rotated arrays become served.
-	ordered := *e.plan
-	ordered.Arrays = nil
-	for _, ap := range e.plan.Arrays {
-		if ap.Place == sched.Rotated {
-			ap.Place = sched.Served
+	kernel := s.nextLoopName(e)
+	return s.runWithRecovery(e, kernel, func(start resumePos) ([]string, error) {
+		samples := s.iterSamples(e.spec)
+		spacePart, timePart := s.partitioners(e, samples)
+		// Rewrite the plan: rotated arrays become served.
+		ordered := *e.plan
+		ordered.Arrays = nil
+		for _, ap := range e.plan.Arrays {
+			if ap.Place == sched.Rotated {
+				ap.Place = sched.Served
+			}
+			ordered.Arrays = append(ordered.Arrays, ap)
 		}
-		ordered.Arrays = append(ordered.Arrays, ap)
-	}
-	gathered, err := s.placeArrays(e.spec, &ordered, spacePart, nil)
-	if err != nil {
-		return err
-	}
-	if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
-		return err
-	}
-	kernel, err := s.defineLoop(e)
-	if err != nil {
-		return err
-	}
-	if err := s.master.ParallelFor(runtime.LoopDef{
-		Kernel:   kernel,
-		TimeDim:  e.plan.TimeDim,
-		TimePart: timePart,
-		Ordered:  true,
-		Passes:   passes,
-	}); err != nil {
-		return err
-	}
-	return s.gather(gathered)
+		gathered, err := s.placeArrays(e.spec, &ordered, spacePart, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
+			return nil, err
+		}
+		if err := s.defineLoopAs(e, kernel); err != nil {
+			return nil, err
+		}
+		return gathered, s.master.ParallelFor(runtime.LoopDef{
+			Kernel:     kernel,
+			TimeDim:    e.plan.TimeDim,
+			TimePart:   timePart,
+			Ordered:    true,
+			Passes:     passes,
+			StartPass:  start.pass,
+			StartStep:  start.step,
+			Checkpoint: s.checkpointSpec(e, gathered),
+		})
+	})
 }
 
 // runOneD distributes and executes a 1D-parallelizable (or independent)
 // loop: one partition per executor, no rotation.
 func (s *Session) runOneD(e *compiledLoop, passes int) error {
-	samples := s.iterSamples(e.spec)
-	spacePart, _ := s.partitioners(e, samples)
-
-	gathered, err := s.placeArrays(e.spec, e.plan, spacePart, nil)
-	if err != nil {
-		return err
-	}
-	if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
-		return err
-	}
-	kernel, err := s.defineLoop(e)
-	if err != nil {
-		return err
-	}
-	if err := s.master.ParallelFor(runtime.LoopDef{
-		Kernel:  kernel,
-		TimeDim: -1,
-		Passes:  passes,
-	}); err != nil {
-		return err
-	}
-	return s.gather(gathered)
+	kernel := s.nextLoopName(e)
+	return s.runWithRecovery(e, kernel, func(start resumePos) ([]string, error) {
+		samples := s.iterSamples(e.spec)
+		spacePart, _ := s.partitioners(e, samples)
+		gathered, err := s.placeArrays(e.spec, e.plan, spacePart, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.master.DistributeIterSpace(samples, e.plan.SpaceDim, spacePart); err != nil {
+			return nil, err
+		}
+		if err := s.defineLoopAs(e, kernel); err != nil {
+			return nil, err
+		}
+		return gathered, s.master.ParallelFor(runtime.LoopDef{
+			Kernel:     kernel,
+			TimeDim:    -1,
+			Passes:     passes,
+			StartPass:  start.pass,
+			StartStep:  start.step,
+			Checkpoint: s.checkpointSpec(e, gathered),
+		})
+	})
 }
 
 // partitioners returns the executable space/time partitioners for this
 // run. The artifact already carries the histogram-balanced cuts
 // materialized at plan time; they are reused as long as the current
 // data still matches the weights they were balanced on (the artifact's
-// WeightsDigest). If the data drifted — arrays mutate between
-// ParallelFor calls — the partitions are re-balanced here (counted as
-// plan.repartition) without re-running analysis or planning.
+// WeightsDigest). A fleet that shrank in recovery reuses the same cuts
+// coalesced onto the survivors (Partition.MergeTo); if the data
+// drifted — arrays mutate between ParallelFor calls — the partitions
+// are re-balanced here (counted as plan.repartition) without
+// re-running analysis or planning.
 func (s *Session) partitioners(e *compiledLoop, samples []runtime.IterSample) (spacePart, timePart *sched.Partitioner) {
 	spaceW := make([]int64, e.spec.Dims[e.plan.SpaceDim])
 	var timeW []int64
@@ -133,13 +143,14 @@ func (s *Session) partitioners(e *compiledLoop, samples []runtime.IterSample) (s
 		}
 	}
 
-	if art := e.art; art != nil && !art.Space.IsZero() &&
+	if art := e.art; art != nil && !art.Space.IsZero() && art.Space.Parts >= s.n &&
 		art.WeightsDigest == plan.WeightsDigest(spaceW, timeW) {
-		if sp, err := art.Space.Partitioner(); err == nil {
+		space, tm := art.Space.MergeTo(s.n), art.Time.MergeTo(s.n)
+		if sp, err := space.Partitioner(); err == nil {
 			if timeW == nil {
 				return sp, nil
 			}
-			if tp, err := art.Time.Partitioner(); err == nil {
+			if tp, err := tm.Partitioner(); err == nil {
 				return sp, tp
 			}
 		}
@@ -166,8 +177,10 @@ func (s *Session) iterSamples(spec *ir.LoopSpec) []runtime.IterSample {
 // placeArrays distributes every referenced array per the plan and
 // returns the names to gather back afterwards. Served arrays get a
 // synthesized bulk-prefetch function when the slicer can produce one.
+// phase places rotated arrays as the ring stands after that many steps
+// (zero for a fresh pass; the resume step when recovering mid-pass).
 func (s *Session) placeArrays(spec *ir.LoopSpec, pl *sched.Plan,
-	spacePart, timePart *sched.Partitioner) ([]string, error) {
+	spacePart, timePart *sched.Partitioner, phase int) ([]string, error) {
 	var gathered []string
 	for _, ap := range pl.Arrays {
 		if ap.Array == spec.IterSpaceArray {
@@ -187,7 +200,7 @@ func (s *Session) placeArrays(spec *ir.LoopSpec, pl *sched.Plan,
 			if timePart == nil {
 				return nil, fmt.Errorf("driver: plan rotates %q but the loop is 1D", ap.Array)
 			}
-			if err := s.master.DistributeRotated(arr, ap.PartDim, boundariesOf(timePart, s.n)); err != nil {
+			if err := s.master.DistributeRotatedAt(arr, ap.PartDim, boundariesOf(timePart, s.n), phase); err != nil {
 				return nil, err
 			}
 			gathered = append(gathered, ap.Array)
@@ -223,15 +236,21 @@ func boundariesOf(p *sched.Partitioner, n int) []int64 {
 	return out
 }
 
-// defineLoop ships the loop — its source plus the serialized plan
+// nextLoopName mints the kernel name for one ParallelFor call. Recovery
+// attempts of the same call reuse the name — checkpoints are keyed on
+// it, and executor-side kernel state (e.g. the per-block RNG) is too.
+func (s *Session) nextLoopName(e *compiledLoop) string {
+	return fmt.Sprintf("dsl-%s-%d", e.spec.Name, s.loopSeq.Add(1))
+}
+
+// defineLoopAs ships the loop — its source plus the serialized plan
 // artifact, which carries the strategy, the materialized partitions,
 // and the synthesized prefetch slice — to every executor as a
 // DefineLoop message; each executor compiles it into a kernel via
 // internal/dslkernel. This is how loop bodies reach workers in separate
 // processes (cmd/orion-worker): no per-loop registration, the code and
 // the plan travel with the message.
-func (s *Session) defineLoop(e *compiledLoop) (string, error) {
-	name := fmt.Sprintf("dsl-%s-%d", e.spec.Name, s.loopSeq.Add(1))
+func (s *Session) defineLoopAs(e *compiledLoop, name string) error {
 	def := &runtime.Msg{
 		LoopName:  name,
 		LoopSrc:   e.loop.String(),
@@ -259,18 +278,18 @@ func (s *Session) defineLoop(e *compiledLoop) (string, error) {
 	// pinned backend=compiled that cannot be honored before shipping.
 	backend, err := s.kernelBackend(e.loop)
 	if err != nil {
-		return "", err
+		return err
 	}
 	s.lastDiags.Add(diag.Infof(diag.CodeBackend, diag.Pos{}, "",
 		"loop %s executes on the %s backend", name, backend))
 
 	if err := s.master.DefineLoop(def); err != nil {
-		return "", err
+		return err
 	}
 	s.mu.Lock()
 	s.lastKernel = name
 	s.mu.Unlock()
-	return name, nil
+	return nil
 }
 
 func servedReadTargets(spec *ir.LoopSpec, pl *sched.Plan) []string {

@@ -1,0 +1,169 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"orion/internal/check"
+	"orion/internal/diag"
+	"orion/internal/dsm"
+	"orion/internal/lang"
+	"orion/internal/obs"
+	"orion/internal/runtime"
+)
+
+// resumePos is a loop position: the first (pass, step) still to run.
+type resumePos struct {
+	pass, step int
+}
+
+// runWithRecovery drives one ParallelFor to completion through worker
+// losses: each attempt distributes state for its resume position and
+// executes; a loss aborts the fleet, rebuilds it (respawn for local
+// sessions, rejoin/shrink for TCP fleets), restores the newest usable
+// checkpoint, and retries from there. Without a checkpoint directory
+// (or once maxRestarts attempts are spent) the loss fails fast — the
+// ORN301 path callers already render.
+func (s *Session) runWithRecovery(e *compiledLoop, kernel string, attempt func(resumePos) ([]string, error)) error {
+	entryClock := s.master.Clock()
+	start := resumePos{}
+	// floor is the position the driver's array copies correspond to:
+	// loop-entry state at first, then the last restored checkpoint.
+	// floorWorkers is the fleet size that floor's mid-pass placement
+	// (if any) assumes.
+	floor := resumePos{}
+	floorWorkers := s.n
+	for restarts := 0; ; restarts++ {
+		gathered, err := attempt(start)
+		if err == nil {
+			return s.gather(gathered)
+		}
+		if !errors.Is(err, runtime.ErrWorkerLost) || s.checkpointDir == "" || restarts >= s.maxRestarts {
+			return err
+		}
+		recStart := time.Now()
+		if rerr := s.rebuildFleet(); rerr != nil {
+			return fmt.Errorf("driver: recovery failed (%v) after %w", rerr, err)
+		}
+		pos, restored, rerr := s.restoreLatest(e, kernel, entryClock)
+		if rerr != nil {
+			return rerr
+		}
+		if restored {
+			floor, floorWorkers = pos, s.n
+		} else if floor.step != 0 && s.n != floorWorkers {
+			return fmt.Errorf("driver: recovery: fleet re-formed with %d workers but the only restorable state is a mid-pass snapshot cut for %d: %w",
+				s.n, floorWorkers, err)
+		}
+		start = floor
+		s.recoveries.Add(1)
+		obs.GetCounter("runtime.recoveries").Inc()
+		s.master.RecordRecovery(recStart, start.pass, start.step)
+	}
+}
+
+// rebuildFleet tears the dead fleet down and brings a fresh generation
+// up. Local sessions drain the old executors (they unwind when the
+// master connection drops) and respawn the full complement; TCP
+// sessions re-listen and admit reconnecting workers, proceeding on the
+// survivors if the fleet is allowed to shrink (SetRejoin).
+func (s *Session) rebuildFleet() error {
+	s.master.Abort()
+	if s.spawnExec != nil {
+		for _, d := range s.execDone {
+			<-d
+		}
+		s.execDone = nil
+		s.generation.Add(1)
+		if err := s.master.Relisten(s.n); err != nil {
+			return err
+		}
+		ready := make(chan error, 1)
+		go func() { ready <- s.master.WaitForExecutors() }()
+		for i := 0; i < s.n; i++ {
+			done, err := s.spawnExec(i)
+			if err != nil {
+				return err
+			}
+			s.execDone = append(s.execDone, done)
+		}
+		return <-ready
+	}
+	minW := s.minWorkers
+	if minW <= 0 || minW > s.n {
+		minW = s.n
+	}
+	n, err := s.master.Reform(s.n, minW, s.rejoinWait)
+	if err != nil {
+		return err
+	}
+	s.n = n
+	return nil
+}
+
+// restoreLatest loads the newest checkpoint usable for this loop on
+// the current fleet: written during this call (clock beyond the loop's
+// entry clock), fingerprint-compatible with the plan artifact (ORN303
+// otherwise), and — for mid-pass snapshots — cut for exactly the
+// current fleet size. Restored arrays replace the driver copies and
+// accumulator bases are adopted; reports whether anything was restored.
+func (s *Session) restoreLatest(e *compiledLoop, kernel string, entryClock int64) (resumePos, bool, error) {
+	mans, err := dsm.ListCheckpoints(s.checkpointDir)
+	if err != nil {
+		return resumePos{}, false, err
+	}
+	fingerprint := ""
+	if e.art != nil {
+		fingerprint = e.art.ContentHash
+	}
+	for _, man := range mans {
+		if man.Loop != kernel || man.Clock <= entryClock {
+			continue
+		}
+		if d := check.CheckResume(man.Loop, fingerprint, man.Fingerprint, diag.Pos{}); d != nil {
+			s.lastDiags.Add(*d)
+			return resumePos{}, false, fmt.Errorf("driver: [%s] %s: %w", d.Code, d.Message, check.ErrResumeMismatch)
+		}
+		if man.ResumeStep != 0 && man.Workers != s.n {
+			continue
+		}
+		restored, err := dsm.RestoreCheckpoint(s.checkpointDir, man)
+		if err != nil {
+			return resumePos{}, false, err
+		}
+		for name, a := range restored {
+			s.arrays[name] = a
+			s.env.Arrays[name] = a.Dims()
+		}
+		for name, v := range man.Accums {
+			s.accumBase[name] = v
+		}
+		return resumePos{pass: man.ResumePass, step: man.ResumeStep}, true, nil
+	}
+	return resumePos{}, false, nil
+}
+
+// checkpointSpec assembles the runtime checkpoint policy for one loop:
+// nil when checkpointing is off.
+func (s *Session) checkpointSpec(e *compiledLoop, arrays []string) *runtime.CheckpointSpec {
+	if s.checkpointDir == "" {
+		return nil
+	}
+	spec := &runtime.CheckpointSpec{
+		Dir:    s.checkpointDir,
+		Every:  s.checkpointEvery,
+		Arrays: arrays,
+		Accums: lang.Accumulators(e.loop),
+	}
+	if e.art != nil {
+		spec.Fingerprint = e.art.ContentHash
+	}
+	if len(s.accumBase) > 0 {
+		spec.AccumBase = make(map[string]float64, len(s.accumBase))
+		for k, v := range s.accumBase {
+			spec.AccumBase[k] = v
+		}
+	}
+	return spec
+}

@@ -79,20 +79,31 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 	// The kernel is invoked only from its executor's message loop, so a
 	// single lazily initialized machine per kernel instance suffices.
 	loopName := def.LoopName
-	// Seed the rand() builtin deterministically per (loop, executor):
-	// sampling kernels (e.g. Gibbs) stay reproducible, and both
-	// backends draw the same sequence.
+	// Seed the rand() builtin deterministically per (loop, executor,
+	// block): sampling kernels (e.g. Gibbs) stay reproducible, both
+	// backends draw the same sequence, and — because the seed is keyed
+	// on the block's (pass, step) clock rather than on how many blocks
+	// this process has executed — a run that recovers from a checkpoint
+	// mid-loop draws exactly the sequence the fault-free run would have
+	// drawn for the same block.
 	seedRng := func(ctx *runtime.Ctx) *rand.Rand {
 		h := fnv.New64a()
 		h.Write([]byte(loopName))
-		return rand.New(rand.NewSource(int64(h.Sum64()) ^ int64(ctx.ExecutorID()*7919)))
+		seed := int64(h.Sum64()) ^ int64(ctx.ExecutorID()*7919)
+		seed ^= int64(ctx.BlockPass())*1_000_003 + int64(ctx.BlockStep())*9176
+		return rand.New(rand.NewSource(seed))
 	}
 	var ms *machineState
 	var cs *compiledState
+	lastEpoch := int64(-1)
 	kernel := func(ctx *runtime.Ctx, key []int64, val float64) {
+		reseed := ctx.BlockEpoch() != lastEpoch
+		lastEpoch = ctx.BlockEpoch()
 		if cl != nil {
 			if cs == nil {
 				cs = newCompiledState(ctx, cl, loop, def.ArrayDims, def.Buffers, globals, def.AccumNames)
+			}
+			if reseed {
 				cs.k.SetRng(seedRng(ctx))
 			}
 			cs.run(ctx, key, val)
@@ -100,6 +111,8 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 		}
 		if ms == nil {
 			ms = newMachineState(ctx, loop, def.ArrayDims, def.Buffers, globals, def.AccumNames)
+		}
+		if reseed {
 			ms.m.Rng = seedRng(ctx)
 		}
 		ms.run(ctx, key, val)

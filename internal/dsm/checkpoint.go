@@ -8,17 +8,23 @@ import (
 
 // WriteFile checkpoints the array to disk (eagerly evaluated, like the
 // paper's fault-tolerance mechanism in Section 4.3: "An Orion driver
-// program can checkpoint a DistArray by writing it to disk").
+// program can checkpoint a DistArray by writing it to disk"). The data
+// is staged in a sibling .tmp file, fsynced, then renamed into place —
+// a crash leaves either the previous checkpoint or a stale .tmp that
+// RestoreDir sweeps, never a torn file.
 func (a *DistArray) WriteFile(path string) error {
 	data, err := a.Encode()
 	if err != nil {
 		return fmt.Errorf("dsm: checkpoint %s: %w", a.Name(), err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	tmp := path + tmpSuffix
+	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("dsm: checkpoint %s: %w", a.Name(), err)
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
 }
 
 // ReadFile restores an array from a checkpoint file.
@@ -48,15 +54,29 @@ func CheckpointDir(dir string, arrays ...*DistArray) error {
 	return nil
 }
 
-// RestoreDir loads every <name>.ckpt in dir.
+// RestoreDir loads every <name>.ckpt in dir, first sweeping stale
+// *.tmp files left by a writer that crashed mid-checkpoint. Arrays
+// that fail to load are collected into a single *RestoreError naming
+// each failure, so a caller sees the full damage at once instead of
+// only the first bad file.
 func RestoreDir(dir string, names ...string) (map[string]*DistArray, error) {
+	if stale, err := filepath.Glob(filepath.Join(dir, "*"+tmpSuffix)); err == nil {
+		for _, f := range stale {
+			os.Remove(f)
+		}
+	}
 	out := make(map[string]*DistArray, len(names))
+	rerr := &RestoreError{Dir: dir}
 	for _, name := range names {
 		a, err := ReadFile(filepath.Join(dir, name+".ckpt"))
 		if err != nil {
-			return nil, err
+			rerr.add(name, err)
+			continue
 		}
 		out[name] = a
+	}
+	if len(rerr.Failed) > 0 {
+		return nil, rerr
 	}
 	return out, nil
 }

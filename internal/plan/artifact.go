@@ -154,6 +154,26 @@ func (p Partition) Bounds(k int) (lo, hi int64) {
 	return lo, hi
 }
 
+// MergeTo coalesces the materialized partition down to m parts by
+// grouping adjacent parts — group k absorbs parts [k*n/m, (k+1)*n/m).
+// Recovery uses this to re-partition a lost worker's blocks onto the
+// survivors while preserving the histogram-balanced cut positions the
+// artifact materialized. m >= Parts (or a zero partition) returns p
+// unchanged.
+func (p Partition) MergeTo(m int) Partition {
+	n := p.Parts
+	if p.IsZero() || m <= 0 || m >= n {
+		return p
+	}
+	cuts := make([]int64, 0, m-1)
+	for k := 1; k < m; k++ {
+		// First part of group k; its lower bound is the group boundary.
+		lo, _ := p.Bounds(k * n / m)
+		cuts = append(cuts, lo)
+	}
+	return Partition{Extent: p.Extent, Parts: m, Cuts: cuts}
+}
+
 func (p Partition) validate(what string) error {
 	if p.IsZero() {
 		if p.Extent != 0 || len(p.Cuts) != 0 {

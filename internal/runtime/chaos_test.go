@@ -1,0 +1,178 @@
+package runtime
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// chaosLink dials one chaos-wrapped connection to an in-process
+// listener and returns both ends (client side goes through the fault
+// injector; the accepted side is raw).
+func chaosLink(t *testing.T, ch *Chaos, addr string) (client, server net.Conn) {
+	t.Helper()
+	ln, err := ch.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	acc := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		acc <- c
+	}()
+	client, err = ch.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case server = <-acc:
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept never completed")
+	}
+	return client, server
+}
+
+// roundTrip pushes one byte client -> server and reports whether it
+// arrived within the timeout.
+func roundTrip(client, server net.Conn, timeout time.Duration) bool {
+	got := make(chan bool, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := server.Read(buf)
+		got <- err == nil
+	}()
+	go client.Write([]byte{42})
+	select {
+	case ok := <-got:
+		return ok
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+func TestChaosSeverFiresAtScriptedClock(t *testing.T) {
+	ch := NewChaos(NewInProc(), 1)
+	client, server := chaosLink(t, ch, "sever-addr")
+	defer server.Close()
+
+	ch.Schedule(FaultEvent{Clock: 3, Addr: "sever-addr", Conn: 0, Kind: FaultSever})
+	ch.Advance(2)
+	if ch.Applied() != 0 {
+		t.Fatal("fault fired before its clock")
+	}
+	if !roundTrip(client, server, 2*time.Second) {
+		t.Fatal("healthy connection did not pass data")
+	}
+	ch.Advance(3)
+	if ch.Applied() != 1 {
+		t.Fatalf("applied = %d, want 1", ch.Applied())
+	}
+	if _, err := client.Write([]byte{1}); err == nil {
+		t.Fatal("write on severed connection succeeded")
+	}
+	if _, err := client.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on severed connection succeeded")
+	}
+	// The peer observes the close too — exactly like a process death.
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer of severed connection still readable")
+	}
+}
+
+func TestChaosDropBlackholesButUnwindsOnClose(t *testing.T) {
+	ch := NewChaos(NewInProc(), 1)
+	client, server := chaosLink(t, ch, "drop-addr")
+	defer server.Close()
+
+	ch.Schedule(FaultEvent{Clock: 1, Addr: "drop-addr", Conn: 0, Kind: FaultDrop})
+	ch.Advance(1)
+
+	// Writes report success but never reach the peer.
+	if _, err := client.Write([]byte{7}); err != nil {
+		t.Fatalf("blackholed write should appear to succeed: %v", err)
+	}
+	if roundTrip(client, server, 200*time.Millisecond) {
+		t.Fatal("data crossed a blackholed connection")
+	}
+
+	// A dropped read drains peer traffic (so a synchronous pipe writer
+	// is never wedged) and unwinds with an error once the peer closes —
+	// the property abort paths rely on.
+	readErr := make(chan error, 1)
+	go func() {
+		_, err := client.Read(make([]byte, 4))
+		readErr <- err
+	}()
+	if _, err := server.Write([]byte{1, 2}); err != nil {
+		t.Fatalf("peer write into blackhole wedged: %v", err)
+	}
+	server.Close()
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("dropped read returned without error after peer close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dropped read did not unwind when the peer closed")
+	}
+}
+
+func TestChaosDelayIsOneShot(t *testing.T) {
+	ch := NewChaos(NewInProc(), 1)
+	client, server := chaosLink(t, ch, "delay-addr")
+	defer client.Close()
+	defer server.Close()
+
+	const lag = 120 * time.Millisecond
+	ch.Schedule(FaultEvent{Clock: 1, Addr: "delay-addr", Conn: 0, Kind: FaultDelay, Delay: lag})
+	ch.Advance(1)
+	if ch.Applied() != 1 {
+		t.Fatalf("applied = %d, want 1", ch.Applied())
+	}
+
+	start := time.Now()
+	if !roundTrip(client, server, 5*time.Second) {
+		t.Fatal("delayed connection lost data")
+	}
+	if d := time.Since(start); d < lag {
+		t.Fatalf("first write took %v, want >= %v", d, lag)
+	}
+	// The delay is consumed: the connection is fast again.
+	start = time.Now()
+	if !roundTrip(client, server, 5*time.Second) {
+		t.Fatal("connection broken after delay")
+	}
+	if d := time.Since(start); d >= lag {
+		t.Fatalf("second write still delayed (%v)", d)
+	}
+}
+
+func TestChaosEventWaitsForTargetAndConnMinusOneHitsAll(t *testing.T) {
+	ch := NewChaos(NewInProc(), 1)
+	// Scheduled before any connection exists: stays pending.
+	ch.Schedule(FaultEvent{Clock: 1, Addr: "late-addr", Conn: -1, Kind: FaultSever})
+	ch.Advance(5)
+	if ch.Applied() != 0 {
+		t.Fatal("fault applied with no target connection")
+	}
+
+	c1, s1 := chaosLink(t, ch, "late-addr")
+	defer s1.Close()
+	c2, err := ch.Dial("late-addr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Advance(6)
+	if ch.Applied() != 1 {
+		t.Fatalf("applied = %d, want 1", ch.Applied())
+	}
+	for i, c := range []net.Conn{c1, c2} {
+		if _, err := c.Write([]byte{1}); err == nil {
+			t.Fatalf("conn %d survived a Conn=-1 sever", i)
+		}
+	}
+}

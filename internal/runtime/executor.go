@@ -1,9 +1,11 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
+	"sync"
 	"time"
 
 	"orion/internal/dsm"
@@ -31,6 +33,29 @@ type Executor struct {
 	sendTo        *codec // ring neighbor we ship rotated partitions to
 	rotateCh      chan *Msg
 
+	// The master connection is read by a dedicated reader goroutine
+	// (readMaster): commands flow to cmdCh, prefetch responses to
+	// respCh, and a connection failure closes stop — so the main loop,
+	// a rotation wait, or a pending master fetch all unblock promptly
+	// when the master aborts, instead of leaking a stuck goroutine.
+	cmdCh    chan *Msg
+	respCh   chan *Msg
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopErr  error
+
+	// rotateErr is closed when a peer connection that was feeding the
+	// rotation pipeline dies, so a mid-rotation severance surfaces as a
+	// worker-lost error instead of a hung rotation wait.
+	rotateErr     chan struct{}
+	rotateErrOnce sync.Once
+
+	// accepted tracks peer connections this executor accepted (ring
+	// predecessor, shard RPC clients), closed on exit so aborted
+	// sessions leak nothing.
+	acceptedMu sync.Mutex
+	accepted   []net.Conn
+
 	ctx    *Ctx
 	misses int64
 	shards *shardSet
@@ -50,7 +75,9 @@ type Executor struct {
 }
 
 // NewExecutor connects an executor to the master. peerAddr is this
-// executor's ring endpoint; it must be unique per executor.
+// executor's ring endpoint; it must be unique per executor. An id of
+// -1 asks the master to assign one (rejoining workers after a
+// recovery); the assignment arrives in the setup message.
 func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, error) {
 	e := &Executor{
 		id:            id,
@@ -62,6 +89,10 @@ func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, e
 		localKernels:  map[string]Kernel{},
 		localPrefetch: map[string]map[string]PrefetchFunc{},
 		rotateCh:      make(chan *Msg, 16),
+		cmdCh:         make(chan *Msg, 16),
+		respCh:        make(chan *Msg, 1),
+		stop:          make(chan struct{}),
+		rotateErr:     make(chan struct{}),
 		done:          make(chan error, 1),
 		trace:         obs.NewBuf(id+1, fmt.Sprintf("exec%d", id)),
 		mBlocks:       obs.GetCounter("kernel.blocks"),
@@ -87,7 +118,11 @@ func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, e
 		return nil, fmt.Errorf("runtime: executor %d dial master: %w", id, err)
 	}
 	e.master = newPeerCodec(conn, fmt.Sprintf("exec%d/master", id))
-	if err := e.master.send(&Msg{Kind: MsgHello, ExecutorID: id, PeerAddr: peerAddr}); err != nil {
+	// Report the resolved listen address: with ":0" TCP ports the bound
+	// address differs from the requested one.
+	if err := e.master.send(&Msg{Kind: MsgHello, ExecutorID: id, PeerAddr: ln.Addr().String()}); err != nil {
+		ln.Close()
+		e.master.close()
 		return nil, err
 	}
 	return e, nil
@@ -100,16 +135,92 @@ func (e *Executor) Start() <-chan error {
 	return e.done
 }
 
+// signalStop records the master-connection failure (first one wins)
+// and releases everything blocked on it.
+func (e *Executor) signalStop(err error) {
+	e.stopOnce.Do(func() {
+		e.stopErr = err
+		close(e.stop)
+	})
+}
+
+func (e *Executor) lostErr() error {
+	err := e.stopErr
+	if err == nil {
+		err = fmt.Errorf("connection closed")
+	}
+	return fmt.Errorf("runtime: executor %d: master connection lost (%v): %w", e.id, err, ErrWorkerLost)
+}
+
+// readMaster is the dedicated master-connection reader: commands are
+// queued for the main loop, prefetch responses routed to the waiting
+// fetch, and a connection error closes stop.
+func (e *Executor) readMaster() {
+	for {
+		msg, err := e.master.recv()
+		if err != nil {
+			e.signalStop(err)
+			return
+		}
+		if msg.Kind == MsgPrefetchResp {
+			select {
+			case e.respCh <- msg:
+			default:
+				// No fetch is waiting (it aborted between send and
+				// receive) — drop rather than wedge the reader.
+			}
+			continue
+		}
+		select {
+		case e.cmdCh <- msg:
+		case <-e.stop:
+			return
+		}
+		if msg.Kind == MsgShutdown {
+			return
+		}
+	}
+}
+
+// heartbeat sends MsgPing every interval until the executor stops. The
+// codec's write lock makes concurrent sends with the main loop safe.
+func (e *Executor) heartbeat(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := e.master.send(&Msg{Kind: MsgPing, ExecutorID: e.id}); err != nil {
+				return
+			}
+		case <-e.stop:
+			return
+		}
+	}
+}
+
 func (e *Executor) run() error {
 	defer e.peerLn.Close()
 	defer e.master.close()
-	// Receive topology first.
+	defer e.closeAccepted()
+	// Ensure anything still blocked on this executor unwinds when the
+	// run loop exits for any reason.
+	defer e.signalStop(fmt.Errorf("executor exited"))
+	// Receive topology first (directly — the reader goroutine starts
+	// after setup so id adoption happens before concurrent use).
 	setup, err := e.master.recv()
 	if err != nil {
 		return err
 	}
 	if setup.Kind != MsgSetup {
 		return fmt.Errorf("runtime: executor %d: expected setup, got %v", e.id, setup.Kind)
+	}
+	if setup.ExecutorID != e.id {
+		// Master-assigned id (hello carried -1, or a re-formed fleet
+		// renumbered the survivors).
+		e.id = setup.ExecutorID
+		e.shards.selfID = e.id
+		e.trace = obs.NewBuf(e.id+1, fmt.Sprintf("exec%d", e.id))
 	}
 	n := setup.NumExecs
 	e.shards.peers = setup.Peers
@@ -129,11 +240,17 @@ func (e *Executor) run() error {
 		e.sendTo = newPeerCodec(conn, fmt.Sprintf("exec%d/ring", e.id))
 		defer e.sendTo.close()
 	}
+	if setup.HeartbeatMs > 0 {
+		go e.heartbeat(time.Duration(setup.HeartbeatMs) * time.Millisecond)
+	}
+	go e.readMaster()
 
 	for {
-		msg, err := e.master.recv()
-		if err != nil {
-			return err
+		var msg *Msg
+		select {
+		case msg = <-e.cmdCh:
+		case <-e.stop:
+			return e.stopErr
 		}
 		switch msg.Kind {
 		case MsgArrayPart:
@@ -169,15 +286,15 @@ func (e *Executor) run() error {
 			e.localPrefetch[msg.LoopName] = pf
 		case MsgExecBlock:
 			if err := e.execBlock(msg, n); err != nil {
-				e.master.send(&Msg{Kind: MsgError, Err: err.Error()})
+				e.master.send(&Msg{Kind: MsgError, Err: err.Error(), Lost: isLost(err)})
 				return err
 			}
 		case MsgGather:
 			p := e.parts[msg.Array]
 			if p == nil {
-				if t := e.shards.table(msg.Array); t != nil {
-					p = t.local
-				}
+				// A gather folds every staged served update first: the
+				// barrier already guaranteed all of them arrived.
+				p = e.shards.gatherLocal(msg.Array)
 			}
 			if p == nil {
 				return fmt.Errorf("runtime: executor %d: gather of unknown array %q", e.id, msg.Array)
@@ -202,13 +319,32 @@ func (e *Executor) run() error {
 	}
 }
 
+// isLost reports whether an executor-side error stems from a broken
+// connection (to the master, the ring, or a shard owner) rather than a
+// kernel failure — the distinction the master needs to decide between
+// recovery and fail-fast.
+func isLost(err error) bool { return errors.Is(err, ErrWorkerLost) }
+
 func (e *Executor) acceptPeers() {
 	for {
 		conn, err := e.peerLn.Accept()
 		if err != nil {
 			return
 		}
+		e.acceptedMu.Lock()
+		e.accepted = append(e.accepted, conn)
+		e.acceptedMu.Unlock()
 		go e.servePeer(newCodec(conn))
+	}
+}
+
+func (e *Executor) closeAccepted() {
+	e.acceptedMu.Lock()
+	conns := e.accepted
+	e.accepted = nil
+	e.acceptedMu.Unlock()
+	for _, c := range conns {
+		c.Close()
 	}
 }
 
@@ -217,24 +353,36 @@ func (e *Executor) acceptPeers() {
 // directly from this goroutine, so an executor serves reads and updates
 // even while its own main loop is mid-block.
 func (e *Executor) servePeer(c *codec) {
+	defer c.close()
 	// in and out live for the connection: recvInto reuses in's payload
 	// slice storage and gob reuses out's encoder state, so the
 	// steady-state prefetch/update serving path does not allocate a
 	// fresh Msg pair per request.
 	var in, out Msg
+	feedsRotation := false
 	for {
 		if err := c.recvInto(&in); err != nil {
+			if feedsRotation {
+				// The ring predecessor died: anything waiting on
+				// rotateCh would hang forever — surface the loss.
+				e.rotateErrOnce.Do(func() { close(e.rotateErr) })
+			}
 			return
 		}
 		switch in.Kind {
 		case MsgRotate:
+			feedsRotation = true
 			// The rotation pipeline retains the message beyond this
 			// loop iteration — hand it a detached copy and drop the
 			// blob from the reused receive Msg.
-			e.rotateCh <- &Msg{Kind: MsgRotate, Array: in.Array, PartBlob: in.PartBlob}
+			select {
+			case e.rotateCh <- &Msg{Kind: MsgRotate, Array: in.Array, PartBlob: in.PartBlob}:
+			case <-e.stop:
+				return
+			}
 			in.PartBlob = nil
 		case MsgPrefetch:
-			vals, err := e.shards.serveRead(in.Array, in.Offsets)
+			vals, err := e.shards.serveRead(in.Array, in.Offsets, in.Epoch)
 			if err != nil {
 				out = Msg{Kind: MsgError, Err: err.Error()}
 				c.send(&out)
@@ -243,7 +391,7 @@ func (e *Executor) servePeer(c *codec) {
 			out = Msg{Kind: MsgPrefetchResp, Array: in.Array, Offsets: in.Offsets, Values: vals}
 			c.send(&out)
 		case MsgUpdateBatch:
-			if err := e.shards.serveUpdate(in.Array, in.Offsets, in.Values, in.Absolute); err != nil {
+			if err := e.shards.serveUpdate(in.Array, in.Offsets, in.Values, in.Absolute, in.Epoch); err != nil {
 				out = Msg{Kind: MsgError, Err: err.Error()}
 				c.send(&out)
 				continue
@@ -295,6 +443,15 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 			return false
 		})
 	}
+
+	// Advance the block clock before anything kernel-visible runs:
+	// randomness reseeds per (loop, executor, pass, step), so a
+	// recovered run replays a block with exactly the fault-free draw
+	// sequence.
+	e.ctx.blockPass = msg.Pass
+	e.ctx.blockStep = msg.StepIndex
+	e.ctx.blockEpoch++
+	e.ctx.stepEpoch = msg.Epoch
 
 	// Bulk prefetch: evaluate the synthesized prefetch functions over
 	// the block and fetch the union of needed offsets per served array.
@@ -392,14 +549,21 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 				return err
 			}
 			if err := e.sendTo.send(&Msg{Kind: MsgRotate, Array: a, PartBlob: blob}); err != nil {
-				return err
+				return fmt.Errorf("runtime: executor %d: rotation send failed (%v): %w", e.id, err, ErrWorkerLost)
 			}
 		}
 		commNs += int64(time.Since(sendStart))
 		e.trace.EndN("rotate.send", "exec", sendStart, "arrays", int64(len(names)))
 		waitStart := time.Now()
 		for range names {
-			in := <-e.rotateCh
+			var in *Msg
+			select {
+			case in = <-e.rotateCh:
+			case <-e.rotateErr:
+				return fmt.Errorf("runtime: executor %d: ring predecessor lost mid-rotation: %w", e.id, ErrWorkerLost)
+			case <-e.stop:
+				return e.lostErr()
+			}
 			p, err := dsm.DecodePartition(in.PartBlob)
 			if err != nil {
 				return err
@@ -444,6 +608,18 @@ func (e *Executor) runKernel(kernel Kernel, block []IterSample) (err error) {
 	return nil
 }
 
+// awaitMasterResp waits for the reader goroutine to deliver the
+// response to a master-directed request, failing fast when the master
+// connection is lost.
+func (e *Executor) awaitMasterResp() (*Msg, error) {
+	select {
+	case m := <-e.respCh:
+		return m, nil
+	case <-e.stop:
+		return nil, e.lostErr()
+	}
+}
+
 // bulkFetch reads offsets of a served array, grouped by shard owner
 // (local shard short-circuits; unsharded arrays fall back to the
 // master), and fills the block cache.
@@ -451,15 +627,12 @@ func (e *Executor) bulkFetch(array string, offs []int64) error {
 	t := e.shards.table(array)
 	if t == nil {
 		// Master-served array.
-		if err := e.master.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: offs}); err != nil {
-			return err
+		if err := e.master.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: offs, Epoch: e.ctx.stepEpoch}); err != nil {
+			return fmt.Errorf("runtime: executor %d: prefetch send: %v: %w", e.id, err, ErrWorkerLost)
 		}
-		resp, err := e.master.recv()
+		resp, err := e.awaitMasterResp()
 		if err != nil {
 			return err
-		}
-		if resp.Kind != MsgPrefetchResp {
-			return fmt.Errorf("runtime: executor %d: expected prefetch response, got %v", e.id, resp.Kind)
 		}
 		e.ctx.cacheServed(array, resp.Offsets, resp.Values)
 		return nil
@@ -477,7 +650,7 @@ func (e *Executor) bulkFetch(array string, offs []int64) error {
 	for _, o := range owners {
 		chunk := byOwner[o]
 		if o == e.id {
-			vals, err := e.shards.serveRead(array, chunk)
+			vals, err := e.shards.serveRead(array, chunk, e.ctx.stepEpoch)
 			if err != nil {
 				return err
 			}
@@ -486,14 +659,14 @@ func (e *Executor) bulkFetch(array string, offs []int64) error {
 		}
 		c, err := e.shards.client(o)
 		if err != nil {
-			return err
+			return fmt.Errorf("%v: %w", err, ErrWorkerLost)
 		}
-		if err := c.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: chunk}); err != nil {
-			return err
+		if err := c.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: chunk, Epoch: e.ctx.stepEpoch}); err != nil {
+			return fmt.Errorf("runtime: executor %d: shard owner %d unreachable (%v): %w", e.id, o, err, ErrWorkerLost)
 		}
 		resp, err := c.recv()
 		if err != nil {
-			return err
+			return fmt.Errorf("runtime: executor %d: shard owner %d unreachable (%v): %w", e.id, o, err, ErrWorkerLost)
 		}
 		if resp.Kind != MsgPrefetchResp {
 			return fmt.Errorf("runtime: executor %d: shard owner %d: %s", e.id, o, resp.Err)
@@ -508,7 +681,10 @@ func (e *Executor) bulkFetch(array string, offs []int64) error {
 func (e *Executor) flushServed(array string, offs []int64, vals []float64, absolute bool) error {
 	t := e.shards.table(array)
 	if t == nil {
-		return e.master.send(&Msg{Kind: MsgUpdateBatch, Array: array, Offsets: offs, Values: vals, Absolute: absolute})
+		if err := e.master.send(&Msg{Kind: MsgUpdateBatch, Array: array, Offsets: offs, Values: vals, Absolute: absolute, Epoch: e.ctx.stepEpoch}); err != nil {
+			return fmt.Errorf("runtime: executor %d: update send: %v: %w", e.id, err, ErrWorkerLost)
+		}
+		return nil
 	}
 	byOwner := map[int][]int{}
 	for i, off := range offs {
@@ -528,21 +704,21 @@ func (e *Executor) flushServed(array string, offs []int64, vals []float64, absol
 			co[i], cv[i] = offs[j], vals[j]
 		}
 		if o == e.id {
-			if err := e.shards.serveUpdate(array, co, cv, absolute); err != nil {
+			if err := e.shards.serveUpdate(array, co, cv, absolute, e.ctx.stepEpoch); err != nil {
 				return err
 			}
 			continue
 		}
 		c, err := e.shards.client(o)
 		if err != nil {
-			return err
+			return fmt.Errorf("%v: %w", err, ErrWorkerLost)
 		}
-		if err := c.send(&Msg{Kind: MsgUpdateBatch, Array: array, Offsets: co, Values: cv, Absolute: absolute}); err != nil {
-			return err
+		if err := c.send(&Msg{Kind: MsgUpdateBatch, Array: array, Offsets: co, Values: cv, Absolute: absolute, Epoch: e.ctx.stepEpoch}); err != nil {
+			return fmt.Errorf("runtime: executor %d: shard owner %d unreachable (%v): %w", e.id, o, err, ErrWorkerLost)
 		}
 		ack, err := c.recv()
 		if err != nil {
-			return err
+			return fmt.Errorf("runtime: executor %d: shard owner %d unreachable (%v): %w", e.id, o, err, ErrWorkerLost)
 		}
 		if ack.Kind != MsgAck {
 			return fmt.Errorf("runtime: executor %d: shard owner %d rejected update: %s", e.id, o, ack.Err)
@@ -557,7 +733,7 @@ func (e *Executor) fetchOne(array string, off int64) (float64, error) {
 	t := e.shards.table(array)
 	if t != nil {
 		if o := t.ownerOf(off); o == e.id {
-			vals, err := e.shards.serveRead(array, []int64{off})
+			vals, err := e.shards.serveRead(array, []int64{off}, e.ctx.stepEpoch)
 			if err != nil {
 				return 0, err
 			}
@@ -568,26 +744,26 @@ func (e *Executor) fetchOne(array string, off int64) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		if err := c.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: []int64{off}}); err != nil {
-			return 0, err
+		if err := c.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: []int64{off}, Epoch: e.ctx.stepEpoch}); err != nil {
+			return 0, fmt.Errorf("runtime: executor %d: shard owner %d unreachable (%v): %w", e.id, o, err, ErrWorkerLost)
 		}
 		resp, err := c.recv()
 		if err != nil {
-			return 0, err
+			return 0, fmt.Errorf("runtime: executor %d: shard owner %d unreachable (%v): %w", e.id, o, err, ErrWorkerLost)
 		}
 		if resp.Kind != MsgPrefetchResp || len(resp.Values) != 1 {
 			return 0, fmt.Errorf("runtime: bad single-fetch response from shard owner")
 		}
 		return resp.Values[0], nil
 	}
-	if err := e.master.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: []int64{off}}); err != nil {
-		return 0, err
+	if err := e.master.send(&Msg{Kind: MsgPrefetch, Array: array, Offsets: []int64{off}, Epoch: e.ctx.stepEpoch}); err != nil {
+		return 0, fmt.Errorf("runtime: executor %d: fetch send: %v: %w", e.id, err, ErrWorkerLost)
 	}
-	resp, err := e.master.recv()
+	resp, err := e.awaitMasterResp()
 	if err != nil {
 		return 0, err
 	}
-	if resp.Kind != MsgPrefetchResp || len(resp.Values) != 1 {
+	if len(resp.Values) != 1 {
 		return 0, fmt.Errorf("runtime: bad single-fetch response")
 	}
 	return resp.Values[0], nil

@@ -89,6 +89,18 @@ type Ctx struct {
 	servedDirty map[string]*servedBuffer
 	// accums are this executor's accumulator instances.
 	accums map[string]float64
+	// Block clock: which (pass, step) the currently running block
+	// belongs to, plus a monotonically increasing epoch bumped once per
+	// block. Kernels that use randomness reseed per block keyed on the
+	// clock, so a recovered run resuming mid-loop draws exactly the
+	// sequence the fault-free run would have drawn for the same block.
+	blockPass  int
+	blockStep  int
+	blockEpoch int64
+	// stepEpoch is the served-consistency epoch of the running block
+	// (assigned by the master at dispatch); it stamps every served
+	// read and update this block issues.
+	stepEpoch int64
 }
 
 type servedBuffer struct {
@@ -257,3 +269,14 @@ func (c *Ctx) HasPartition(array string) bool { return c.exec.partition(array) !
 // ExecutorID returns the hosting executor's id (for seeding per-worker
 // randomness deterministically).
 func (c *Ctx) ExecutorID() int { return c.exec.id }
+
+// BlockPass returns the pass index of the block being executed.
+func (c *Ctx) BlockPass() int { return c.blockPass }
+
+// BlockStep returns the within-pass step index of the block being
+// executed.
+func (c *Ctx) BlockStep() int { return c.blockStep }
+
+// BlockEpoch increments once per executed block; kernel adapters use
+// it to notice block boundaries (e.g. to reseed per-block randomness).
+func (c *Ctx) BlockEpoch() int64 { return c.blockEpoch }

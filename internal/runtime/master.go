@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"orion/internal/dsm"
 	"orion/internal/obs"
@@ -19,6 +20,46 @@ import (
 // ordinary kernel errors.
 var ErrWorkerLost = errors.New("worker lost")
 
+// defaultHeartbeatMs is the ping interval shipped to executors in the
+// setup message. Pings are always sent (one tiny message per
+// executor per interval); the master only *checks* staleness when
+// SetHeartbeat arms a timeout.
+const defaultHeartbeatMs = 500
+
+// masterChans is one fleet generation's response channels. Recovery
+// re-forms the fleet with a fresh set, so connection handlers of a
+// dead generation can never feed stale messages into a resumed loop's
+// barrier.
+type masterChans struct {
+	blockDone  chan *Msg
+	gatherResp chan *Msg
+	accumResp  chan *Msg
+	ackCh      chan *Msg
+	execErr    chan error
+}
+
+func newMasterChans(n int) *masterChans {
+	return &masterChans{
+		blockDone:  make(chan *Msg, n),
+		gatherResp: make(chan *Msg, n),
+		accumResp:  make(chan *Msg, n),
+		ackCh:      make(chan *Msg, n),
+		// Each connection can contribute both a MsgError and a
+		// connection-loss error; size the buffer so handlers never block.
+		execErr: make(chan error, 2*n),
+	}
+}
+
+func freshSeen(n int) []*atomic.Int64 {
+	out := make([]*atomic.Int64, n)
+	now := time.Now().UnixNano()
+	for i := range out {
+		out[i] = &atomic.Int64{}
+		out[i].Store(now)
+	}
+	return out
+}
+
 // Master is the Orion coordinator (Fig. 3): the driver program talks to
 // it to distribute DistArrays, launch parallel for-loops, gather
 // results, and aggregate accumulators.
@@ -28,16 +69,31 @@ type Master struct {
 	n    int
 
 	conns []*codec // by executor id
+	peers []string // executor ring addresses, by id
 	ln    net.Listener
 
 	mu     sync.Mutex
 	served map[string]*dsm.DistArray
+	// servedPending stages update batches for master-held served
+	// arrays, exactly like executor shard owners do: a batch folds in
+	// on the first read from a later epoch (or any unstamped access),
+	// keeping master-served reads step-consistent too.
+	servedPending map[string][]stagedUpdate
 
-	blockDone  chan *Msg
-	gatherResp chan *Msg
-	accumResp  chan *Msg
-	ackCh      chan *Msg
-	execErr    chan error
+	ch       *masterChans
+	lastSeen []*atomic.Int64 // liveness timestamps, by executor id
+
+	// clock counts completed global steps across every loop this master
+	// has run; it is the coordinate system of checkpoints and of the
+	// chaos harness's fault scripts. clockHook (when set) observes the
+	// clock at the start of each step, before any block is dispatched.
+	clock     atomic.Int64
+	clockHook func(int64)
+	// hbTimeout, when non-zero, makes the ParallelFor barrier treat an
+	// executor whose last message is older than the timeout as lost —
+	// catching wedged or blackholed workers whose connections are still
+	// technically open.
+	hbTimeout time.Duration
 
 	// bookkeeping for gather and the prefetch-miss counter.
 	arrayDims  map[string][]int64
@@ -60,30 +116,48 @@ type Master struct {
 func Listen(t Transport, addr string, n int) (*Master, error) {
 	m := &Master{
 		t: t, addr: addr, n: n,
-		conns:      make([]*codec, n),
-		served:     map[string]*dsm.DistArray{},
-		blockDone:  make(chan *Msg, n),
-		gatherResp: make(chan *Msg, n),
-		accumResp:  make(chan *Msg, n),
-		ackCh:      make(chan *Msg, n),
-		// Each connection can contribute both a MsgError and a
-		// connection-loss error; size the buffer so handlers never block.
-		execErr:    make(chan error, 2*n),
-		arrayDims:  map[string][]int64{},
-		arrayDense: map[string]bool{},
-		trace:      obs.NewBuf(0, "master"),
-		reports:    map[string]*obs.LoopReport{},
+		conns:         make([]*codec, n),
+		served:        map[string]*dsm.DistArray{},
+		servedPending: map[string][]stagedUpdate{},
+		ch:            newMasterChans(n),
+		lastSeen:      freshSeen(n),
+		arrayDims:     map[string][]int64{},
+		arrayDense:    map[string]bool{},
+		trace:         obs.NewBuf(0, "master"),
+		reports:       map[string]*obs.LoopReport{},
 	}
 	ln, err := t.Listen(addr)
 	if err != nil {
 		return nil, err
 	}
 	m.ln = ln
+	// Remember the *resolved* address so recovery can re-listen on the
+	// same endpoint (":0" TCP ports resolve at bind time).
+	m.addr = ln.Addr().String()
 	return m, nil
 }
 
 // Addr returns the master's bound listen address.
-func (m *Master) Addr() string { return m.ln.Addr().String() }
+func (m *Master) Addr() string { return m.addr }
+
+// PeerAddrs returns the executors' ring addresses by id (available
+// after WaitForExecutors) — used by fault-injection scripts to target
+// specific peer links.
+func (m *Master) PeerAddrs() []string { return append([]string(nil), m.peers...) }
+
+// Clock returns the number of completed global steps across all loops.
+func (m *Master) Clock() int64 { return m.clock.Load() }
+
+// SetClockHook installs a function observing the clock at the start of
+// every step, before that step's blocks are dispatched. The chaos
+// harness drives fault scripts from it. Set before loops run.
+func (m *Master) SetClockHook(fn func(clock int64)) { m.clockHook = fn }
+
+// SetHeartbeat arms staleness detection: a worker silent for longer
+// than timeout while the master waits at a step barrier is treated as
+// lost. Zero disables the check (the default); executors ping every
+// defaultHeartbeatMs regardless.
+func (m *Master) SetHeartbeat(timeout time.Duration) { m.hbTimeout = timeout }
 
 // NewMaster creates a master at addr and blocks until all n executors
 // have registered (convenience for fixed addresses).
@@ -99,7 +173,8 @@ func NewMaster(t Transport, addr string, n int) (*Master, error) {
 }
 
 // WaitForExecutors accepts all n executor registrations, distributes
-// the ring topology, and starts the connection handlers.
+// the ring topology, and starts the connection handlers. A hello with
+// id -1 is assigned the first free slot.
 func (m *Master) WaitForExecutors() error {
 	n := m.n
 	defer m.ln.Close()
@@ -117,26 +192,39 @@ func (m *Master) WaitForExecutors() error {
 		if hello.Kind != MsgHello {
 			return fmt.Errorf("runtime: master: expected hello, got %v", hello.Kind)
 		}
-		if hello.ExecutorID < 0 || hello.ExecutorID >= n || m.conns[hello.ExecutorID] != nil {
+		id := hello.ExecutorID
+		if id == -1 {
+			for k := 0; k < n; k++ {
+				if m.conns[k] == nil {
+					id = k
+					break
+				}
+			}
+		}
+		if id < 0 || id >= n || m.conns[id] != nil {
 			return fmt.Errorf("runtime: master: bad executor id %d", hello.ExecutorID)
 		}
 		// The executor id is only known after the hello, so this side of
 		// the link counts messages (the executor side counts bytes too).
-		c.stats = obs.Peer(fmt.Sprintf("master/exec%d", hello.ExecutorID))
-		m.conns[hello.ExecutorID] = c
-		peers[hello.ExecutorID] = hello.PeerAddr
+		c.stats = obs.Peer(fmt.Sprintf("master/exec%d", id))
+		m.conns[id] = c
+		peers[id] = hello.PeerAddr
 	}
+	m.peers = peers
 	for id, c := range m.conns {
-		if err := c.send(&Msg{Kind: MsgSetup, ExecutorID: id, Peers: peers, NumExecs: n}); err != nil {
+		if err := c.send(&Msg{Kind: MsgSetup, ExecutorID: id, Peers: peers, NumExecs: n, HeartbeatMs: defaultHeartbeatMs}); err != nil {
 			return err
 		}
-		go m.handleConn(id, c)
+		go m.handleConn(id, c, m.ch, m.lastSeen[id])
 	}
 	return nil
 }
 
-// handleConn processes executor-initiated messages.
-func (m *Master) handleConn(id int, c *codec) {
+// handleConn processes executor-initiated messages for one fleet
+// generation: responses land in that generation's channels, so a
+// handler outliving a recovery cannot pollute the next generation's
+// barriers.
+func (m *Master) handleConn(id int, c *codec, ch *masterChans, seen *atomic.Int64) {
 	for {
 		msg, err := c.recv()
 		if err != nil {
@@ -144,24 +232,28 @@ func (m *Master) handleConn(id int, c *codec) {
 			// the master may still be waiting on its results — surface
 			// the loss so ParallelFor/Gather don't hang on the barrier.
 			if !m.closed.Load() {
-				m.execErr <- fmt.Errorf("runtime: executor %d connection failed (%v): %w", id, err, ErrWorkerLost)
+				ch.execErr <- fmt.Errorf("runtime: executor %d connection failed (%v): %w", id, err, ErrWorkerLost)
 			}
 			return
 		}
+		seen.Store(time.Now().UnixNano())
 		switch msg.Kind {
+		case MsgPing:
+			// Liveness only — the timestamp refresh above is the point.
 		case MsgBlockDone:
-			m.blockDone <- msg
+			ch.blockDone <- msg
 		case MsgGatherResp:
-			m.gatherResp <- msg
+			ch.gatherResp <- msg
 		case MsgAccumResp:
-			m.accumResp <- msg
+			ch.accumResp <- msg
 		case MsgAck:
-			m.ackCh <- msg
+			ch.ackCh <- msg
 		case MsgPrefetch:
 			m.mu.Lock()
 			arr := m.served[msg.Array]
 			var vals []float64
 			if arr != nil {
+				m.foldServed(msg.Array, msg.Epoch)
 				vals = make([]float64, len(msg.Offsets))
 				for i, off := range msg.Offsets {
 					vals[i] = arr.At(arr.Unflatten(off)...)
@@ -176,17 +268,22 @@ func (m *Master) handleConn(id int, c *codec) {
 		case MsgUpdateBatch:
 			m.mu.Lock()
 			if arr := m.served[msg.Array]; arr != nil {
-				for i, off := range msg.Offsets {
-					if msg.Absolute {
-						arr.SetAt(msg.Values[i], arr.Unflatten(off)...)
-					} else {
-						arr.AddAt(msg.Values[i], arr.Unflatten(off)...)
-					}
-				}
+				m.servedPending[msg.Array] = append(m.servedPending[msg.Array], stagedUpdate{
+					epoch:    msg.Epoch,
+					offs:     append([]int64(nil), msg.Offsets...),
+					vals:     append([]float64(nil), msg.Values...),
+					absolute: msg.Absolute,
+				})
 			}
 			m.mu.Unlock()
 		case MsgError:
-			m.execErr <- fmt.Errorf("runtime: executor %d: %s", id, msg.Err)
+			err := fmt.Errorf("runtime: executor %d: %s", id, msg.Err)
+			if msg.Lost {
+				// The executor reported a broken peer link (ring or
+				// shard) — a recoverable worker loss, not a kernel bug.
+				err = fmt.Errorf("runtime: executor %d: %s: %w", id, msg.Err, ErrWorkerLost)
+			}
+			ch.execErr <- err
 		}
 	}
 }
@@ -220,8 +317,25 @@ func (m *Master) DistributeLocal(a *dsm.DistArray, dim int, boundaries []int64) 
 // DistributeRotated places time partition i on executor i; partitions
 // rotate between executors during loop execution.
 func (m *Master) DistributeRotated(a *dsm.DistArray, dim int, boundaries []int64) error {
+	return m.DistributeRotatedAt(a, dim, boundaries, 0)
+}
+
+// DistributeRotatedAt distributes a rotated array as it stands at
+// rotation phase: executor j receives time partition (j+phase) mod n —
+// the placement the ring reaches after `phase` steps. Resuming a loop
+// mid-pass from a checkpoint uses this so the re-formed ring starts in
+// exactly the faulted run's configuration.
+func (m *Master) DistributeRotatedAt(a *dsm.DistArray, dim int, boundaries []int64, phase int) error {
 	m.recordArray(a)
-	return m.broadcastParts(a.Name(), a.RangePartitions(dim, m.n, boundaries), true)
+	parts := a.RangePartitions(dim, m.n, boundaries)
+	if phase%m.n != 0 {
+		rotated := make([]*dsm.Partition, m.n)
+		for j := 0; j < m.n; j++ {
+			rotated[j] = parts[(j+phase)%m.n]
+		}
+		parts = rotated
+	}
+	return m.broadcastParts(a.Name(), parts, true)
 }
 
 // Serve keeps a DistArray on the master as a parameter-server array
@@ -271,6 +385,15 @@ type LoopDef struct {
 	Ordered bool
 	// Passes is the number of full data passes.
 	Passes int
+	// StartPass/StartStep resume execution mid-loop: the first executed
+	// step is (StartPass, StartStep). Zero values run the loop from the
+	// beginning. The caller must have distributed array state matching
+	// that position (DistributeRotatedAt with phase StartStep).
+	StartPass int
+	StartStep int
+	// Checkpoint, when non-nil, makes the master write coordinated
+	// loop-boundary snapshots per the spec's policy.
+	Checkpoint *CheckpointSpec
 }
 
 // ParallelFor executes the loop: per pass, n global steps of the
@@ -281,14 +404,24 @@ func (m *Master) ParallelFor(def LoopDef) error {
 	if passes <= 0 {
 		passes = 1
 	}
-	for pass := 0; pass < passes; pass++ {
+	for pass := def.StartPass; pass < passes; pass++ {
 		steps := m.n
 		if def.TimeDim < 0 {
 			steps = 1
 		} else if def.Ordered {
 			steps = 2*m.n - 1 // wavefront ramp-up and drain
 		}
-		for step := 0; step < steps; step++ {
+		s0 := 0
+		if pass == def.StartPass {
+			s0 = def.StartStep
+		}
+		for step := s0; step < steps; step++ {
+			// The chaos harness (and any other observer) sees the clock
+			// before the step's blocks are dispatched, so a fault
+			// scripted "at clock c" lands before step c runs.
+			if m.clockHook != nil {
+				m.clockHook(m.clock.Load())
+			}
 			// Begin before the sends so executor block spans nest inside
 			// the clock.step span in the emitted trace.
 			stepStart := m.trace.Begin()
@@ -301,6 +434,11 @@ func (m *Master) ParallelFor(def LoopDef) error {
 					Ordered:   def.Ordered,
 					Pass:      pass,
 					StepIndex: step,
+					// The served-consistency epoch: the clock value this
+					// step completes at. Shard owners stage same-epoch
+					// updates, so every block reads exactly its
+					// step-start state however execution interleaves.
+					Epoch: m.clock.Load() + 1,
 				}
 				switch {
 				case def.TimeDim < 0:
@@ -319,19 +457,52 @@ func (m *Master) ParallelFor(def LoopDef) error {
 					msg.TimeLo, msg.TimeHi = lo, hi
 				}
 				if err := m.conns[j].send(msg); err != nil {
-					return err
+					return fmt.Errorf("runtime: dispatch to executor %d failed (%v): %w", j, err, ErrWorkerLost)
 				}
 			}
-			for done := 0; done < m.n; {
-				select {
-				case msg := <-m.blockDone:
-					m.noteBlockDone(msg)
-					done++
-				case err := <-m.execErr:
-					return err
-				}
+			if err := m.stepBarrier(); err != nil {
+				return err
 			}
+			m.clock.Add(1)
 			m.trace.EndNN("clock.step", "master", stepStart, "pass", int64(pass), "step", int64(step))
+			if m.checkpointDue(def, step, steps) {
+				if err := m.writeCheckpoint(def, pass, step, steps); err != nil {
+					return fmt.Errorf("runtime: checkpoint at clock %d: %w", m.clock.Load(), err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stepBarrier waits for every executor's BlockDone, surfacing executor
+// errors and — when a heartbeat timeout is armed — workers that have
+// gone silent even though their connections are still open.
+func (m *Master) stepBarrier() error {
+	for done := 0; done < m.n; {
+		if m.hbTimeout > 0 {
+			select {
+			case msg := <-m.ch.blockDone:
+				m.noteBlockDone(msg)
+				done++
+			case err := <-m.ch.execErr:
+				return err
+			case <-time.After(m.hbTimeout / 2):
+				now := time.Now().UnixNano()
+				for id, seen := range m.lastSeen {
+					if now-seen.Load() > int64(m.hbTimeout) {
+						return fmt.Errorf("runtime: executor %d heartbeat stale (silent > %v): %w", id, m.hbTimeout, ErrWorkerLost)
+					}
+				}
+			}
+			continue
+		}
+		select {
+		case msg := <-m.ch.blockDone:
+			m.noteBlockDone(msg)
+			done++
+		case err := <-m.ch.execErr:
+			return err
 		}
 	}
 	return nil
@@ -427,24 +598,51 @@ func (m *Master) Gather(array string) (*dsm.DistArray, error) {
 	}
 	for i := 0; i < m.n; i++ {
 		select {
-		case msg := <-m.gatherResp:
+		case msg := <-m.ch.gatherResp:
 			p, err := dsm.DecodePartition(msg.PartBlob)
 			if err != nil {
 				return nil, err
 			}
 			p.WriteBack(out)
-		case err := <-m.execErr:
+		case err := <-m.ch.execErr:
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// ServedArray returns the master-resident copy of a served array.
+// ServedArray returns the master-resident copy of a served array, with
+// every staged update folded in.
 func (m *Master) ServedArray(name string) *dsm.DistArray {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.foldServed(name, 0)
 	return m.served[name]
+}
+
+// foldServed applies staged updates to a master-held served array from
+// epochs before the reader's; epoch <= 0 folds everything. Caller holds
+// m.mu.
+func (m *Master) foldServed(name string, epoch int64) {
+	arr := m.served[name]
+	if arr == nil {
+		return
+	}
+	kept := m.servedPending[name][:0]
+	for _, u := range m.servedPending[name] {
+		if epoch > 0 && u.epoch >= epoch {
+			kept = append(kept, u)
+			continue
+		}
+		for i, off := range u.offs {
+			if u.absolute {
+				arr.SetAt(u.vals[i], arr.Unflatten(off)...)
+			} else {
+				arr.AddAt(u.vals[i], arr.Unflatten(off)...)
+			}
+		}
+	}
+	m.servedPending[name] = kept
 }
 
 // AccumSum aggregates an accumulator across executors with +.
@@ -457,19 +655,22 @@ func (m *Master) AccumSum(name string) (float64, error) {
 	var total float64
 	for i := 0; i < m.n; i++ {
 		select {
-		case msg := <-m.accumResp:
+		case msg := <-m.ch.accumResp:
 			total += msg.AccValue
-		case err := <-m.execErr:
+		case err := <-m.ch.execErr:
 			return 0, err
 		}
 	}
 	return total, nil
 }
 
-// Shutdown stops all executors.
+// Shutdown stops all executors with the shutdown handshake.
 func (m *Master) Shutdown() {
 	m.closed.Store(true)
 	for _, c := range m.conns {
+		if c == nil {
+			continue
+		}
 		c.send(&Msg{Kind: MsgShutdown})
 		c.close()
 	}
@@ -520,8 +721,8 @@ func (m *Master) DistributeServed(a *dsm.DistArray) error {
 	// so wait until every executor has installed its shard.
 	for i := 0; i < m.n; i++ {
 		select {
-		case <-m.ackCh:
-		case err := <-m.execErr:
+		case <-m.ch.ackCh:
+		case err := <-m.ch.execErr:
 			return err
 		}
 	}

@@ -56,6 +56,10 @@ const (
 	MsgAck
 	// MsgError: either direction; aborts the operation.
 	MsgError
+	// MsgPing: executor → master heartbeat. Carries no payload; the
+	// master refreshes the sender's liveness timestamp on receipt (as it
+	// does for every message).
+	MsgPing
 )
 
 // Msg is the single wire message type (gob encodes nil/zero fields
@@ -63,11 +67,16 @@ const (
 type Msg struct {
 	Kind MsgKind
 
-	// Hello / Setup
-	ExecutorID int
-	PeerAddr   string
-	Peers      []string // indexed by executor id
-	NumExecs   int
+	// Hello / Setup. A hello with ExecutorID -1 asks the master to
+	// assign a free id (reported back in the setup message — used by
+	// rejoining workers after a recovery re-forms the fleet).
+	// HeartbeatMs, when non-zero, tells the executor to send MsgPing
+	// every that many milliseconds.
+	ExecutorID  int
+	PeerAddr    string
+	Peers       []string // indexed by executor id
+	NumExecs    int
+	HeartbeatMs int
 
 	// Array payloads: a gob-encoded dsm.Partition (partition blob) or
 	// raw samples.
@@ -84,10 +93,17 @@ type Msg struct {
 	StepIndex int
 
 	// Served arrays. Absolute marks an update batch carrying final
-	// values (last-write-wins) rather than additive deltas.
+	// values (last-write-wins) rather than additive deltas. Epoch is the
+	// served-consistency clock of the block issuing the read or update:
+	// owners stage incoming updates and fold a batch into the shard only
+	// once a read from a *later* epoch arrives, so every block observes
+	// exactly the state at its step's start — independent of how block
+	// execution interleaves across executors. A read with Epoch 0 folds
+	// everything (gathers, legacy raw RPCs).
 	Offsets  []int64
 	Values   []float64
 	Absolute bool
+	Epoch    int64
 
 	// Accumulators.
 	AccName  string
@@ -117,8 +133,12 @@ type Msg struct {
 	AccumNames  []string
 	Backend     string
 
-	// Errors.
-	Err string
+	// Errors. Lost marks an executor-reported error caused by a broken
+	// connection (ring neighbor or shard owner unreachable) rather than
+	// a kernel failure; the master folds it into ErrWorkerLost so the
+	// recovery path can distinguish transport loss from program bugs.
+	Err  string
+	Lost bool
 }
 
 // reset clears a Msg for reuse while keeping the backing storage of the

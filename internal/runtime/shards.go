@@ -15,6 +15,17 @@ import (
 // from its reader goroutines) shards. Same-executor accesses short-
 // circuit locally — the common case after locality-aware planning.
 
+// stagedUpdate is an update batch an owner has received but not yet
+// folded into its shard: it becomes visible only to reads from later
+// epochs, making served reads step-consistent (and so deterministic)
+// no matter how block execution interleaves across executors.
+type stagedUpdate struct {
+	epoch    int64
+	offs     []int64
+	vals     []float64
+	absolute bool
+}
+
 // shardTable tracks one served array's sharding on an executor.
 type shardTable struct {
 	dims []int64
@@ -26,6 +37,29 @@ type shardTable struct {
 	// lastStride = product of all dims except the last: flattened
 	// offset / lastStride = last-dim coordinate.
 	lastStride int64
+	// pending holds staged updates in arrival order, folded in on the
+	// first read from a later epoch.
+	pending []stagedUpdate
+}
+
+// fold applies every pending update from an epoch before the reader's
+// into the local shard, in arrival order. epoch <= 0 folds everything.
+func (t *shardTable) fold(epoch int64) {
+	kept := t.pending[:0]
+	for _, u := range t.pending {
+		if epoch > 0 && u.epoch >= epoch {
+			kept = append(kept, u)
+			continue
+		}
+		for i, off := range u.offs {
+			if u.absolute {
+				t.set(off, u.vals[i])
+			} else {
+				t.add(off, u.vals[i])
+			}
+		}
+	}
+	t.pending = kept
 }
 
 func newShardTable(dims, boundaries []int64, local *dsm.Partition) *shardTable {
@@ -109,14 +143,16 @@ func (s *shardSet) table(array string) *shardTable {
 }
 
 // serveRead answers a peer's (or the local executor's) read of offsets
-// this executor owns.
-func (s *shardSet) serveRead(array string, offs []int64) ([]float64, error) {
+// this executor owns, as of the reader's epoch: staged updates from
+// earlier epochs are folded in first, same-epoch ones stay invisible.
+func (s *shardSet) serveRead(array string, offs []int64, epoch int64) ([]float64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := s.tables[array]
 	if t == nil || t.local == nil {
 		return nil, fmt.Errorf("runtime: executor %d serves no shard of %q", s.selfID, array)
 	}
+	t.fold(epoch)
 	out := make([]float64, len(offs))
 	for i, off := range offs {
 		out[i] = t.at(off)
@@ -124,25 +160,39 @@ func (s *shardSet) serveRead(array string, offs []int64) ([]float64, error) {
 	return out, nil
 }
 
-// serveUpdate applies a peer's update batch to the local shard:
+// serveUpdate stages a peer's update batch against the local shard:
 // additive deltas, or absolute final values (used for serializable
 // direct writes under ordered wavefront execution, where the schedule
-// guarantees a single writer).
-func (s *shardSet) serveUpdate(array string, offs []int64, vals []float64, absolute bool) error {
+// guarantees a single writer). The batch folds in when a later-epoch
+// read (or a gather) arrives; offsets and values are copied because
+// the serving loop reuses the decoded message's storage.
+func (s *shardSet) serveUpdate(array string, offs []int64, vals []float64, absolute bool, epoch int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := s.tables[array]
 	if t == nil || t.local == nil {
 		return fmt.Errorf("runtime: executor %d serves no shard of %q", s.selfID, array)
 	}
-	for i, off := range offs {
-		if absolute {
-			t.set(off, vals[i])
-		} else {
-			t.add(off, vals[i])
-		}
-	}
+	t.pending = append(t.pending, stagedUpdate{
+		epoch:    epoch,
+		offs:     append([]int64(nil), offs...),
+		vals:     append([]float64(nil), vals...),
+		absolute: absolute,
+	})
 	return nil
+}
+
+// gatherLocal folds everything pending and returns the local shard for
+// a gather (nil if this executor owns nothing of the array).
+func (s *shardSet) gatherLocal(array string) *dsm.Partition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tables[array]
+	if t == nil || t.local == nil {
+		return nil
+	}
+	t.fold(0)
+	return t.local
 }
 
 // client returns (dialing if needed) the RPC connection to peer id.

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"orion/internal/obs"
 )
@@ -39,10 +41,13 @@ func (TCP) Listen(addr string) (net.Listener, error) { return net.Listen("tcp", 
 func (TCP) Dial(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 
 // InProc is an in-process transport: addresses are arbitrary strings,
-// connections are synchronous net.Pipe pairs.
+// connections are synchronous net.Pipe pairs. Every pipe end is
+// counted, so tests can assert that an aborted session leaks no
+// connections (OpenConns).
 type InProc struct {
 	mu        sync.Mutex
 	listeners map[string]*inprocListener
+	open      atomic.Int64
 }
 
 // NewInProc creates an isolated in-process address space.
@@ -71,12 +76,36 @@ func (t *InProc) Dial(addr string) (net.Conn, error) {
 		return nil, fmt.Errorf("runtime: inproc dial: no listener at %q", addr)
 	}
 	client, server := net.Pipe()
+	cc := &countedConn{Conn: client, open: &t.open}
+	sc := &countedConn{Conn: server, open: &t.open}
+	t.open.Add(2)
 	select {
-	case l.ch <- server:
-		return client, nil
+	case l.ch <- sc:
+		return cc, nil
 	case <-l.done:
+		cc.Close()
+		sc.Close()
 		return nil, fmt.Errorf("runtime: inproc dial: listener at %q closed", addr)
 	}
+}
+
+// OpenConns returns the number of pipe ends currently open — zero once
+// every connection ever dialed through this transport has been closed
+// by its owner. Tests use it to verify abort paths do not leak.
+func (t *InProc) OpenConns() int64 { return t.open.Load() }
+
+// countedConn decrements the transport's open-connection gauge exactly
+// once when closed.
+type countedConn struct {
+	net.Conn
+	open *atomic.Int64
+	once sync.Once
+}
+
+func (c *countedConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(func() { c.open.Add(-1) })
+	return err
 }
 
 type inprocListener struct {
@@ -112,6 +141,78 @@ type inprocAddr string
 
 func (a inprocAddr) Network() string { return "inproc" }
 func (a inprocAddr) String() string  { return string(a) }
+
+// Deadline wraps a transport so every connection it produces enforces
+// per-operation I/O deadlines: each Read (Write) arms a fresh read
+// (write) deadline of the configured duration. A zero duration leaves
+// that direction unlimited.
+//
+// Write deadlines are broadly safe — the runtime never holds a send
+// open indefinitely on purpose — and turn a wedged peer into a prompt
+// error instead of a hung barrier. Read deadlines are only appropriate
+// on links with guaranteed periodic traffic (e.g. the master side of
+// executor connections when heartbeats are enabled): executors
+// legitimately sit idle between loops, so a blanket read deadline
+// would kill healthy workers.
+type Deadline struct {
+	Inner Transport
+	Read  time.Duration
+	Write time.Duration
+}
+
+// Listen implements Transport.
+func (d Deadline) Listen(addr string) (net.Listener, error) {
+	ln, err := d.Inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &deadlineListener{Listener: ln, read: d.Read, write: d.Write}, nil
+}
+
+// Dial implements Transport.
+func (d Deadline) Dial(addr string) (net.Conn, error) {
+	c, err := d.Inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &deadlineConn{Conn: c, read: d.Read, write: d.Write}, nil
+}
+
+type deadlineListener struct {
+	net.Listener
+	read, write time.Duration
+}
+
+func (l *deadlineListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &deadlineConn{Conn: c, read: l.read, write: l.write}, nil
+}
+
+type deadlineConn struct {
+	net.Conn
+	read, write time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if c.read > 0 {
+		if err := c.Conn.SetReadDeadline(time.Now().Add(c.read)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.write > 0 {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.write)); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(p)
+}
 
 // countingConn wraps a connection and feeds per-peer byte counters.
 // Counts are atomic adds on preallocated counters, so the wrapper adds
