@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race chaos bench-smoke vet-examples fuzz bench-baseline bench-obs golden-plans golden-plans-check
+.PHONY: check fmt vet lint build test race chaos bench-smoke vet-examples fuzz bench-baseline bench-obs golden-plans golden-plans-check
 
-check: fmt vet build test race chaos bench-smoke golden-plans-check
+check: fmt vet lint build test race chaos bench-smoke golden-plans-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -16,6 +16,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (internal/lint): wall-clock reads in
+# deterministic packages, unended trace spans, retained Msg payloads.
+lint:
+	$(GO) run ./cmd/orion-lint
 
 build:
 	$(GO) build ./...
@@ -54,7 +59,8 @@ bench-obs:
 vet-examples:
 	$(GO) run ./cmd/orion-vet examples/quickstart/mf.orion \
 		examples/slr_prefetch/slr.orion examples/wavefront/stencil.orion \
-		examples/lda_dsl/lda.orion examples/vet_demo/fixed.orion
+		examples/lda_dsl/lda.orion examples/vet_demo/fixed.orion \
+		examples/strided/interleave.orion examples/guarded/tile.orion
 	! $(GO) run ./cmd/orion-vet examples/vet_demo/unsafe.orion
 
 # Regenerate the committed golden plan artifacts (one per examples/
@@ -66,9 +72,11 @@ golden-plans:
 golden-plans-check:
 	$(GO) test ./internal/plan -run TestGolden
 
-# Short fuzzing sessions over the DSL front end and the plan-artifact
-# decoders.
+# Short fuzzing sessions over the DSL front end, the plan-artifact
+# decoders, and the symbolic dependence tier (soundness vs the
+# brute-force oracle).
 fuzz:
 	$(GO) test ./internal/lang -fuzz 'FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/lang -fuzz FuzzParseProgram -fuzztime 30s
 	$(GO) test ./internal/plan -fuzz FuzzDecodeArtifact -fuzztime 30s
+	$(GO) test ./internal/dep -fuzz FuzzRangeAnalysis -fuzztime 30s

@@ -34,8 +34,14 @@ import (
 
 // fileReport is the per-file entry of the -json output.
 type fileReport struct {
-	File        string            `json:"file"`
-	Strategy    string            `json:"strategy,omitempty"`
+	File     string `json:"file"`
+	Strategy string `json:"strategy,omitempty"`
+	// Verdict classifies the strategy outcome: "proven" (the plan is
+	// unconditionally safe), "guarded" (safe only under a synthesized
+	// runtime guard, ORN203), or "refused" (not parallelizable,
+	// ORN201). Empty when planning did not run.
+	Verdict     string            `json:"verdict,omitempty"`
+	Guard       string            `json:"guard,omitempty"`
 	Diagnostics []diag.Diagnostic `json:"diagnostics"`
 	Explanation []string          `json:"explanation,omitempty"`
 }
@@ -91,6 +97,10 @@ func main() {
 		fr := fileReport{File: path, Diagnostics: append([]diag.Diagnostic{}, res.Diags...)}
 		if res.Plan != nil {
 			fr.Strategy = res.Plan.Kind.String()
+		}
+		fr.Verdict = res.Verdict()
+		if res.Guard != nil {
+			fr.Guard = res.Guard.String()
 		}
 		if *explain {
 			fr.Explanation = res.Explanation

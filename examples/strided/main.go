@@ -1,0 +1,83 @@
+// Strided-subscript demo: the symbolic dependence tier proving
+// independence where the classic analyzer gave up. Each iteration
+// writes the even element out[2*key[1]] and the odd element
+// out[2*key[1]+1]; the affine normalizer recognizes both as stride-2
+// linear forms and the GCD disjointness test shows 2*delta = ±1 has no
+// integer solution — no two iterations touch a common element, so the
+// loop compiles as embarrassingly parallel instead of being refused
+// (ORN201).
+//
+// Run with: go run ./examples/strided
+// Or vet the file: go run ./cmd/orion-vet -explain examples/strided/interleave.orion
+package main
+
+import (
+	_ "embed"
+	"fmt"
+	"log"
+	"strings"
+
+	"orion/internal/driver"
+	"orion/internal/dsm"
+	"orion/internal/lang"
+)
+
+//go:embed interleave.orion
+var programSrc string
+
+const (
+	cells   = 64
+	outLen  = 200
+	workers = 4
+)
+
+func loopSrc() string {
+	parts := strings.SplitN(programSrc, "---", 2)
+	return parts[len(parts)-1]
+}
+
+func main() {
+	sess, err := driver.NewLocalSession(workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	in := sess.CreateArray("cells", true, cells)
+	for i := int64(0); i < cells; i++ {
+		in.SetAt(float64(i+1), i)
+	}
+	sess.CreateArray("out", true, outLen)
+
+	pl, err := sess.ParallelFor(loopSrc())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s (no dependence vectors — stride-2 accesses proven disjoint)\n", pl.Kind)
+
+	// Serial reference for verification.
+	m := lang.NewMachine()
+	refOut := dsm.NewDense("out", outLen)
+	m.Arrays["cells"] = in.Clone()
+	m.Arrays["out"] = refOut
+	loop, err := lang.Parse(loopSrc())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.RunLoop(loop); err != nil {
+		log.Fatal(err)
+	}
+	maxDiff := 0.0
+	refOut.ForEach(func(idx []int64, v float64) {
+		d := v - sess.Array("out").At(idx...)
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	})
+	fmt.Printf("max |distributed - serial reference| = %g\n", maxDiff)
+	if maxDiff != 0 {
+		log.Fatal("results diverge from the serial reference")
+	}
+}

@@ -28,6 +28,7 @@ func (r *Result) BuildArtifact(workers int) (*plan.Artifact, error) {
 		Plan:    r.Plan,
 		Opts:    r.schedOpts,
 		Workers: workers,
+		Guard:   r.Guard,
 	}
 	if r.Loop != nil {
 		in.LoopSrc = r.Loop.String()

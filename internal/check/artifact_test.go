@@ -1,11 +1,13 @@
 package check
 
 import (
+	"fmt"
 	"os"
 	"strings"
 	"testing"
 
 	"orion/internal/diag"
+	"orion/internal/plan"
 )
 
 func readExample(t *testing.T, path string) string {
@@ -137,7 +139,7 @@ func TestCheckArtifactMalformed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	skewed := strings.Replace(string(blob), `"version": 1`, `"version": 99`, 1)
+	skewed := strings.Replace(string(blob), fmt.Sprintf(`"version": %d`, plan.Version), `"version": 99`, 1)
 	vet = CheckArtifact([]byte(skewed), "old.plan.json", src, Options{File: "mf.orion"})
 	d = vet.Diags.First(diag.CodeStalePlan)
 	if d == nil {

@@ -54,7 +54,13 @@ type Result struct {
 	Spec    *ir.LoopSpec
 	Detail  *dep.Detail
 	Plan    *sched.Plan
-	Diags   diag.List
+	// Guard is non-nil when Plan is conditional on a synthesized
+	// runtime predicate (ORN203): planning against the full dependence
+	// set refused, but the guarded set admits the strategy in Plan. The
+	// driver evaluates the guard at dispatch and demotes to a serial
+	// pass when it fails.
+	Guard *dep.Guard
+	Diags diag.List
 	// Explanation is the strategy-explanation pass: which of §3.2's
 	// conditions held and therefore why this strategy was chosen, plus
 	// the provenance of each dependence vector.
@@ -83,6 +89,34 @@ func (r *Result) Deps() *dep.Set {
 
 // Err returns a non-nil error iff the run produced error diagnostics.
 func (r *Result) Err() error { return r.Diags.Err() }
+
+// Verdict classifies the strategy outcome for downstream tooling
+// (orion-vet -json): "proven" when the plan is unconditionally safe,
+// "guarded" when it is conditional on a synthesized runtime predicate
+// (ORN203), "refused" when the loop was rejected as not parallelizable
+// (ORN201). Empty before the planning pass ran.
+func (r *Result) Verdict() string {
+	if r.Plan == nil {
+		return ""
+	}
+	if r.Diags.First(diag.CodeNotParallel) != nil {
+		return "refused"
+	}
+	if r.Guard != nil {
+		return "guarded"
+	}
+	return "proven"
+}
+
+// executable reports whether the distributed runtime can run a plan of
+// this kind directly (without a unimodular transformation).
+func executable(k sched.Kind) bool {
+	switch k {
+	case sched.Independent, sched.OneD, sched.TwoD:
+		return true
+	}
+	return false
+}
 
 // Source vets a whole program file (preamble + '---' + loop), the
 // format of cmd/orion-analyze and cmd/orion-vet.
@@ -164,6 +198,19 @@ func Run(loop *lang.Loop, env *lang.Env, opts Options) *Result {
 		return r
 	}
 	r.Plan = plan
+
+	// Pass 3b: guarded replanning. When the full dependence set refuses
+	// (or demands a transformation the runtime cannot execute) but the
+	// analysis synthesized a runtime guard, replan against the guarded
+	// dependence set — the constraints in effect whenever the guard
+	// holds. An executable guarded plan replaces the refusal; strategy()
+	// then reports ORN203 instead of ORN201/ORN202.
+	if detail.Guard != nil && !executable(plan.Kind) {
+		if gp, gerr := sched.NewFromDeps(spec, detail.GuardedSet, sopts); gerr == nil && executable(gp.Kind) {
+			r.Plan = gp
+			r.Guard = detail.Guard
+		}
+	}
 
 	// Passes 4 and 5: safety lints and the strategy verdict.
 	r.lint(opts)

@@ -1,0 +1,132 @@
+package check
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"orion/internal/diag"
+	"orion/internal/sched"
+)
+
+func vetFile(t *testing.T, path string) *Result {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Source(string(b), Options{File: path})
+	return res
+}
+
+// TestGuardedVerdict: the tile example is parallelizable only under the
+// synthesized runtime predicate — verdict "guarded", an Independent
+// plan, and a positioned ORN203 info naming the guard.
+func TestGuardedVerdict(t *testing.T) {
+	res := vetFile(t, "../../examples/guarded/tile.orion")
+	if res.Err() != nil {
+		t.Fatalf("guarded program must vet clean: %v", res.Diags)
+	}
+	if got := res.Verdict(); got != "guarded" {
+		t.Fatalf("verdict = %q, want guarded", got)
+	}
+	if res.Guard == nil {
+		t.Fatal("result must carry the synthesized guard")
+	}
+	if got := res.Guard.String(); got != "stride >= 8" {
+		t.Fatalf("guard = %q, want %q", got, "stride >= 8")
+	}
+	if res.Plan.Kind != sched.Independent {
+		t.Fatalf("guarded plan kind = %v, want Independent", res.Plan.Kind)
+	}
+	d := res.Diags.First(diag.CodeGuarded)
+	if d == nil {
+		t.Fatalf("expected ORN203, got %v", res.Diags)
+	}
+	if d.Severity != diag.Info {
+		t.Fatalf("ORN203 severity = %v, want info", d.Severity)
+	}
+	if !d.Pos.IsValid() {
+		t.Fatalf("ORN203 must be positioned, got %v", d.Pos)
+	}
+	if !strings.Contains(d.Message, "stride >= 8") {
+		t.Fatalf("ORN203 message %q does not state the guard", d.Message)
+	}
+	joined := strings.Join(res.Explanation, "\n")
+	if !strings.Contains(joined, "runtime guard") {
+		t.Fatalf("explanation must mention the runtime guard:\n%s", joined)
+	}
+}
+
+// TestProvenVerdict: the strided interleave is statically proven by the
+// symbolic tier — no guard, no refusal.
+func TestProvenVerdict(t *testing.T) {
+	res := vetFile(t, "../../examples/strided/interleave.orion")
+	if res.Err() != nil {
+		t.Fatalf("interleave must vet clean: %v", res.Diags)
+	}
+	if got := res.Verdict(); got != "proven" {
+		t.Fatalf("verdict = %q, want proven", got)
+	}
+	if res.Guard != nil {
+		t.Fatalf("statically proven loop must not carry a guard, got %v", res.Guard)
+	}
+	if res.Plan.Kind != sched.Independent {
+		t.Fatalf("plan kind = %v, want Independent", res.Plan.Kind)
+	}
+	for _, code := range []string{diag.CodeNotParallel, diag.CodeGuarded} {
+		if d := res.Diags.First(code); d != nil {
+			t.Fatalf("unexpected %s on a proven loop: %v", code, d)
+		}
+	}
+}
+
+// TestRefusedVerdict: the deliberately unsafe demo stays refused.
+func TestRefusedVerdict(t *testing.T) {
+	res := vetFile(t, "../../examples/vet_demo/unsafe.orion")
+	if got := res.Verdict(); got != "refused" {
+		t.Fatalf("verdict = %q, want refused", got)
+	}
+	if res.Guard != nil {
+		t.Fatalf("runtime subscripts are not guardable, got %v", res.Guard)
+	}
+}
+
+// TestVerdictWithoutPlan: front-end failures produce no verdict at all.
+func TestVerdictWithoutPlan(t *testing.T) {
+	res := Source("array data 10\n---\nfor (key, v) in data\n    x = = 1\nend\n", Options{File: "s.orion"})
+	if got := res.Verdict(); got != "" {
+		t.Fatalf("verdict = %q, want empty when no plan exists", got)
+	}
+}
+
+// TestUnusedGlobalReadOnlyInSubscript: a global whose only read is
+// inside a subscript expression is used — ORN104 must not fire for it
+// (regression: the lint used to consult the inherited-variable list
+// instead of the names actually read by the body).
+func TestUnusedGlobalReadOnlyInSubscript(t *testing.T) {
+	src := `array data 10
+array out 100
+global g unused_knob
+---
+for (key, v) in data
+    out[g*key[1]] = out[g*key[1]] + v
+end
+`
+	res := Source(src, Options{File: "g.orion"})
+	if res.Err() != nil {
+		t.Fatal(res.Err())
+	}
+	var hits []string
+	for _, d := range res.Diags {
+		if d.Code == diag.CodeUnusedGlobal {
+			hits = append(hits, d.Message)
+		}
+	}
+	if len(hits) != 1 || !strings.Contains(hits[0], "unused_knob") {
+		t.Fatalf("want exactly one ORN104 about unused_knob, got %v", hits)
+	}
+	if strings.Contains(hits[0], `"g"`) {
+		t.Fatalf("ORN104 must not name the subscript-read global g: %v", hits)
+	}
+}

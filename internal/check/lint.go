@@ -6,6 +6,7 @@ import (
 
 	"orion/internal/diag"
 	"orion/internal/ir"
+	"orion/internal/lang"
 	"orion/internal/sched"
 )
 
@@ -54,11 +55,22 @@ func (r *Result) lintCommuteAssumptions(opts Options) {
 }
 
 // lintFlowDeps flags ORN103: an array read under one subscript and
-// written (unbuffered) under a different one. Such flow dependences are
-// what typically serializes a loop; a DistArrayBuffer on the write is
-// the usual fix when the update commutes.
+// written (unbuffered) under a different one, when the pair actually
+// produces a cross-iteration dependence. Pairs the symbolic tier proved
+// independent (e.g. interleaved strides) are exempt — there is nothing
+// to fix. Such flow dependences are what typically serializes a loop; a
+// DistArrayBuffer on the write is the usual fix when the update
+// commutes.
 func (r *Result) lintFlowDeps(opts Options) {
 	type pairKey struct{ array, write, read string }
+	// conflicting holds every reference pair dependence analysis
+	// recorded as a cause, keyed in both orders.
+	conflicting := map[pairKey]bool{}
+	for _, c := range r.Detail.Causes {
+		as, bs := subsString(c.A), subsString(c.B)
+		conflicting[pairKey{c.Array, as, bs}] = true
+		conflicting[pairKey{c.Array, bs, as}] = true
+	}
 	seen := map[pairKey]bool{}
 	for _, w := range r.Spec.Refs {
 		if !w.IsWrite || w.Buffered {
@@ -70,6 +82,9 @@ func (r *Result) lintFlowDeps(opts Options) {
 			}
 			ws, rs := subsString(w), subsString(rd)
 			if ws == rs {
+				continue
+			}
+			if !conflicting[pairKey{w.Array, ws, rs}] {
 				continue
 			}
 			k := pairKey{w.Array, ws, rs}
@@ -97,19 +112,79 @@ func subsString(ref ir.ArrayRef) string {
 }
 
 // lintUnusedGlobals flags ORN104: a driver variable declared as
-// available (SetGlobal / 'global' preamble line) that the loop never
-// inherits — usually a typo in the loop body.
+// available (SetGlobal / 'global' preamble line) that the loop body
+// never reads — usually a typo in the loop body. The check walks the
+// body for actual reads (including reads inside subscript expressions)
+// rather than consulting Spec.Inherited: a global that is read and then
+// shadowed by a plain assignment is not inherited, but it IS used.
 func (r *Result) lintUnusedGlobals(opts Options) {
-	inherited := map[string]bool{}
-	for _, v := range r.Spec.Inherited {
-		inherited[v] = true
-	}
+	reads := map[string]bool{}
+	bodyReads(r.Loop.Body, reads)
 	for _, g := range opts.Globals {
-		if !inherited[g] {
+		if !reads[g] {
 			r.Diags.Add(diag.Warningf(diag.CodeUnusedGlobal,
 				diag.Pos{File: opts.File, Line: r.Loop.At.Line, Col: r.Loop.At.Col},
 				"remove the declaration, or check the loop body for a misspelled use",
 				"global %q is declared but never used by the loop", g))
+		}
+	}
+}
+
+// bodyReads records every identifier the statements read — compound
+// assignment targets, condition/range/value expressions, and names
+// appearing inside subscript expressions. Subscript bases (array,
+// buffer, and key names) are not reads of a driver variable.
+func bodyReads(body []lang.Stmt, reads map[string]bool) {
+	for _, st := range body {
+		switch s := st.(type) {
+		case *lang.Assign:
+			if s.Op != "=" {
+				// target op= value reads the target first.
+				if id, ok := s.Target.(*lang.Ident); ok {
+					reads[id.Name] = true
+				}
+			}
+			if ix, ok := s.Target.(*lang.Index); ok {
+				for _, sub := range ix.Subs {
+					exprReads(sub, reads)
+				}
+			}
+			exprReads(s.Value, reads)
+		case *lang.If:
+			exprReads(s.Cond, reads)
+			bodyReads(s.Then, reads)
+			bodyReads(s.Else, reads)
+		case *lang.ForRange:
+			exprReads(s.Lo, reads)
+			exprReads(s.Hi, reads)
+			bodyReads(s.Body, reads)
+		case *lang.ExprStmt:
+			exprReads(s.X, reads)
+		}
+	}
+}
+
+func exprReads(e lang.Expr, reads map[string]bool) {
+	switch x := e.(type) {
+	case *lang.Ident:
+		reads[x.Name] = true
+	case *lang.BinOp:
+		exprReads(x.L, reads)
+		exprReads(x.R, reads)
+	case *lang.UnOp:
+		exprReads(x.X, reads)
+	case *lang.Call:
+		for _, a := range x.Args {
+			exprReads(a, reads)
+		}
+	case *lang.Index:
+		for _, sub := range x.Subs {
+			exprReads(sub, reads)
+		}
+	case *lang.RangeExpr:
+		if !x.Full {
+			exprReads(x.Lo, reads)
+			exprReads(x.Hi, reads)
 		}
 	}
 }
@@ -174,9 +249,21 @@ func (r *Result) lintRotationRatio(opts Options) {
 }
 
 // strategy is pass 5's verdict: an error when the loop cannot run in
-// parallel (ORN201) and a warning when it only runs after a unimodular
-// transformation (ORN202), each naming its evidence.
+// parallel (ORN201), a warning when it only runs after a unimodular
+// transformation (ORN202), and an info when it runs under a synthesized
+// runtime guard (ORN203), each naming its evidence.
 func (r *Result) strategy(opts Options) {
+	if r.Guard != nil {
+		pos := diag.Pos{File: opts.File, Line: r.Loop.At.Line, Col: r.Loop.At.Col}
+		if cs := r.Detail.Causes; len(cs) > 0 && cs[0].A.Line > 0 {
+			pos = refPos(opts.File, cs[0].A)
+		}
+		r.Diags.Add(diag.Infof(diag.CodeGuarded, pos,
+			"the driver evaluates the guard once against the loop's globals at dispatch; when it fails, the loop is demoted to a serial pass (ORN204) instead of refused",
+			"loop %q is parallelizable (%s) only under runtime guard: %s",
+			r.Spec.Name, r.Plan.Kind, r.Guard))
+		return
+	}
 	switch r.Plan.Kind {
 	case sched.NotParallelizable:
 		pos := diag.Pos{File: opts.File, Line: r.Loop.At.Line, Col: r.Loop.At.Col}
@@ -209,6 +296,9 @@ func (r *Result) strategy(opts Options) {
 // condition report plus the provenance of every dependence vector.
 func (r *Result) explain() []string {
 	out := r.Plan.Explain()
+	if r.Guard != nil {
+		out = append(out, fmt.Sprintf("runtime guard: %s — the strategy above holds only when the guard does; on guard failure the driver demotes to a serial pass", r.Guard))
+	}
 	if len(r.Detail.Causes) > 0 {
 		out = append(out, "dependence provenance:")
 		for _, c := range r.Detail.Causes {

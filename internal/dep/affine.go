@@ -1,0 +1,231 @@
+package dep
+
+import (
+	"orion/internal/ir"
+)
+
+// This file implements the symbolic tier of Algorithm 2: subscripts are
+// normalized to linear forms over the loop indices, element coordinates
+// are bounded by interval propagation from the (statically known) loop
+// extents, and equal-stride pairs are solved exactly while mixed-stride
+// pairs go through GCD + Banerjee feasibility. Subscripts whose stride
+// is a runtime-known driver variable yield guard atoms instead of a
+// proof (see guard.go).
+
+// linForm is the numeric linear-form abstraction of one subscript
+// position: the 0-based element coordinate is coeff*k + [lo, hi], where
+// k is the 0-based loop index of dimension dim. coeff == 0 denotes a
+// constant window (dim is then meaningless).
+type linForm struct {
+	dim    int
+	coeff  int64
+	lo, hi int64
+}
+
+// linearForm converts a numeric subscript to its linear form.
+func linearForm(s ir.Subscript) (linForm, bool) {
+	switch s.Kind {
+	case ir.SubIndex:
+		return linForm{dim: s.Dim, coeff: 1, lo: s.Const, hi: s.Const}, true
+	case ir.SubConst:
+		return linForm{lo: s.Const, hi: s.Const}, true
+	case ir.SubAffine:
+		if s.CoeffVar != "" {
+			return linForm{}, false
+		}
+		// coeff*(k+1) + Const + [0, Span-1] == coeff*k + base + [0, Span-1]
+		base := s.Coeff + s.Const
+		return linForm{dim: s.Dim, coeff: s.Coeff, lo: base, hi: base + s.Span - 1}, true
+	}
+	return linForm{}, false
+}
+
+// symForm extracts the symbolic-stride abstraction: the element
+// coordinate is var*k1 + [lo, hi] over the 1-based index k1 of
+// dimension dim.
+func symForm(s ir.Subscript) (dim int, v string, lo, hi int64, ok bool) {
+	if s.Kind != ir.SubAffine || s.CoeffVar == "" {
+		return 0, "", 0, 0, false
+	}
+	return s.Dim, s.CoeffVar, s.Const, s.Const + s.Span - 1, true
+}
+
+// elemRange bounds the element coordinates a subscript can touch, when
+// a static bound exists — the value-range abstract interpretation over
+// the loop extents.
+func elemRange(dims []int64, s ir.Subscript) (lo, hi int64, ok bool) {
+	switch s.Kind {
+	case ir.SubConst:
+		return s.Const, s.Const, true
+	case ir.SubIndex:
+		if s.Dim < 0 || s.Dim >= len(dims) {
+			return 0, 0, false
+		}
+		return s.Const, s.Const + dims[s.Dim] - 1, true
+	case ir.SubRange:
+		if s.Full {
+			return 0, 0, false
+		}
+		return s.Lo, s.Hi, true
+	case ir.SubAffine:
+		if s.CoeffVar != "" || s.Dim < 0 || s.Dim >= len(dims) {
+			return 0, 0, false
+		}
+		a := s.Coeff + s.Const             // window base at k1 = 1
+		b := s.Coeff*dims[s.Dim] + s.Const // window base at k1 = n
+		if a > b {
+			a, b = b, a
+		}
+		return a, b + s.Span - 1, true
+	}
+	return 0, 0, false
+}
+
+// floorDiv and ceilDiv are integer division rounding toward -inf/+inf.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// deltaInterval solves c*d in [l, h] for integer d (c != 0).
+func deltaInterval(c, l, h int64) (lo, hi int64, empty bool) {
+	if c > 0 {
+		lo, hi = ceilDiv(l, c), floorDiv(h, c)
+	} else {
+		lo, hi = ceilDiv(h, c), floorDiv(l, c)
+	}
+	return lo, hi, lo > hi
+}
+
+// meetInterval intersects a Dist component with the integer interval
+// [lo, hi], returning the tightest representable component. empty
+// reports an unsatisfiable constraint — the pair is independent. Every
+// lattice element is itself an interval: Any = (-inf, +inf), PosInf =
+// [1, +inf), NegInf = (-inf, -1], Finite v = [v, v]; mapping a proper
+// sub-interval back to the lattice may widen it, which is sound.
+func meetInterval(cur Dist, lo, hi int64) (next Dist, empty bool) {
+	switch cur.Kind {
+	case Finite:
+		if cur.Val < lo || cur.Val > hi {
+			return Dist{}, true
+		}
+		return cur, false
+	case PosInf:
+		if hi < 1 {
+			return Dist{}, true
+		}
+		if lo < 1 {
+			lo = 1
+		}
+	case NegInf:
+		if lo > -1 {
+			return Dist{}, true
+		}
+		if hi > -1 {
+			hi = -1
+		}
+	}
+	switch {
+	case lo > hi:
+		return Dist{}, true
+	case lo == hi:
+		return D(lo), false
+	case lo > 0:
+		return DPos(), false
+	case hi < 0:
+		return DNeg(), false
+	default:
+		return DAny(), false
+	}
+}
+
+// refineLinear applies one numeric subscript-position pair to the
+// vector under construction, reporting independence when the position
+// can never match. The recorded distance follows the q-p convention of
+// the SubIndex/SubIndex case: for equal strides c, conflicting
+// iterations satisfy c*(q-p) in [la.lo-lb.hi, la.hi-lb.lo].
+func refineLinear(dims []int64, dvec Vector, la, lb linForm) (independent bool) {
+	l, h := la.lo-lb.hi, la.hi-lb.lo
+	switch {
+	case la.coeff == 0 && lb.coeff == 0:
+		// Constant windows: overlap was already decided by the
+		// value-range pre-filter; no iteration constraint either way.
+		return false
+	case la.coeff == lb.coeff && la.coeff != 0 && la.dim == lb.dim:
+		dlo, dhi, empty := deltaInterval(la.coeff, l, h)
+		if empty {
+			return true
+		}
+		ext := dims[la.dim] - 1
+		if dlo < -ext {
+			dlo = -ext
+		}
+		if dhi > ext {
+			dhi = ext
+		}
+		nd, bad := meetInterval(dvec[la.dim], dlo, dhi)
+		if bad {
+			return true
+		}
+		dvec[la.dim] = nd
+		return false
+	default:
+		// Mixed strides (possibly one constant, possibly different
+		// dims): GCD + Banerjee feasibility of
+		// ca*kp - cb*kq = ob - oa over the bounded index ranges.
+		minP, maxP := int64(0), int64(0)
+		if la.coeff != 0 {
+			minP, maxP = ordered(0, la.coeff*(dims[la.dim]-1))
+		}
+		minQ, maxQ := int64(0), int64(0)
+		if lb.coeff != 0 {
+			minQ, maxQ = ordered(0, lb.coeff*(dims[lb.dim]-1))
+		}
+		tlo, thi := -h, -l // range of ob - oa
+		if f := minP - maxQ; f > tlo {
+			tlo = f
+		}
+		if f := maxP - minQ; f < thi {
+			thi = f
+		}
+		if tlo > thi {
+			return true
+		}
+		if g := gcd64(abs64(la.coeff), abs64(lb.coeff)); g > 1 && floorDiv(thi, g)*g < tlo {
+			return true
+		}
+		return false
+	}
+}
+
+func ordered(a, b int64) (int64, int64) {
+	if a > b {
+		return b, a
+	}
+	return a, b
+}

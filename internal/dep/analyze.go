@@ -56,6 +56,18 @@ type Detail struct {
 	// unordered — Algorithm 2's commutativity assumption. Correctness
 	// relies on these updates commuting.
 	Commute []Cause
+	// Guard, when non-nil, is a synthesized runtime predicate: whenever
+	// it holds, every reference pair it was derived from is
+	// independent, and GuardedSet (a subset of Set's constraints)
+	// soundly describes the loop's dependences. When the guard fails at
+	// dispatch the driver must fall back to Set (in practice: run
+	// serially).
+	Guard *Guard
+	// GuardedSet is the dependence set in effect when Guard holds.
+	GuardedSet *Set
+
+	guarded   *Set        // accumulates GuardedSet during analysis
+	pairAtoms []GuardAtom // one sufficient atom per guardable pair
 }
 
 // CausesOf returns the causes that produced a vector equal to v.
@@ -79,12 +91,16 @@ func AnalyzeDetail(loop *ir.LoopSpec) (*Detail, error) {
 	if err := loop.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Detail{Set: NewSet()}
+	d := &Detail{Set: NewSet(), guarded: NewSet()}
 	for _, array := range loop.Arrays() {
 		refs := effectiveRefs(loop.RefsTo(array))
 		if err := d.analyzeArray(loop, array, refs); err != nil {
 			return nil, err
 		}
+	}
+	if len(d.pairAtoms) > 0 {
+		d.Guard = &Guard{Atoms: mergeAtoms(d.pairAtoms)}
+		d.GuardedSet = d.guarded
 	}
 	return d, nil
 }
@@ -106,7 +122,6 @@ func effectiveRefs(refs []ir.ArrayRef) []ir.ArrayRef {
 // references to the same DistArray, recording the pair as the vectors'
 // cause.
 func (d *Detail) analyzeArray(loop *ir.LoopSpec, array string, refs []ir.ArrayRef) error {
-	n := loop.NumDims()
 	for a := 0; a < len(refs); a++ {
 		// The pair (a, a) matters too: the same static reference
 		// executed by two different iterations can touch the same
@@ -122,14 +137,14 @@ func (d *Detail) analyzeArray(loop *ir.LoopSpec, array string, refs []ir.ArrayRe
 				return fmt.Errorf("dep: loop %q: references %s and %s to array %q have different arities",
 					loop.Name, ra, rb, array)
 			}
-			vec, independent := pairVector(n, ra, rb)
-			if independent {
+			pr := pairVector(loop, ra, rb)
+			if pr.independent {
 				continue
 			}
 			// Self-pair with all-equal single-index subscripts is the
 			// same iteration touching its own element — not
 			// loop-carried unless some dimension is unconstrained.
-			lex := vec.LexPositive()
+			lex := pr.vec.LexPositive()
 			if len(lex) == 0 {
 				continue
 			}
@@ -147,69 +162,120 @@ func (d *Detail) analyzeArray(loop *ir.LoopSpec, array string, refs []ir.ArrayRe
 			}
 			d.Set.AddAll(lex)
 			d.Causes = append(d.Causes, Cause{Array: array, A: ra, B: rb, Vecs: lex})
+			if len(pr.guards) > 0 {
+				// The guarded vector assumes every atom of the pair
+				// holds, so all of them join the conjunction.
+				d.pairAtoms = append(d.pairAtoms, pr.guards...)
+				if !pr.gindependent {
+					if glex := pr.gvec.LexPositive(); len(glex) > 0 {
+						d.guarded.AddAll(glex)
+					}
+				}
+			} else {
+				d.guarded.AddAll(lex)
+			}
 		}
 	}
 	return nil
 }
 
+// pairResult is pairVector's refinement of one reference pair: the
+// unconditional vector (what the pair contributes to Set), a
+// static-independence proof, and — when symbolic-stride positions
+// contributed guard atoms — the tighter vector that holds whenever
+// every atom does (what the pair contributes to GuardedSet).
+type pairResult struct {
+	vec         Vector
+	independent bool
+	guards      []GuardAtom
+	// gvec/gindependent describe the pair assuming all guards hold.
+	// Meaningful only when guards is non-empty.
+	gvec         Vector
+	gindependent bool
+}
+
 // pairVector refines the conservative all-∞ vector using each subscript
-// position of the reference pair, returning (vector, independent).
-func pairVector(n int, ra, rb ir.ArrayRef) (Vector, bool) {
-	dvec := NewAnyVector(n)
-	// constrained tracks which iteration-space dims got a finite
-	// distance; used to detect the degenerate self-dependence (distance
-	// zero in every dimension touched, and no dimension left
-	// unconstrained would still be Any — that is a real dependence
-	// between iterations sharing those coordinates).
+// position of the reference pair. Positions whose stride is a
+// runtime-known driver variable cannot be solved statically; they emit a
+// guard atom (stride >= window spread + 1) and refine only the guarded
+// vector: under the atom, a conflict forces the strided dimension's
+// distance to 0 — or is impossible outright when the offset windows are
+// disjoint.
+func pairVector(loop *ir.LoopSpec, ra, rb ir.ArrayRef) pairResult {
+	dvec := NewAnyVector(loop.NumDims())
+	gvec := NewAnyVector(loop.NumDims())
+	var guards []GuardAtom
+	gind := false
 	for pos := range ra.Subs {
 		sa, sb := ra.Subs[pos], rb.Subs[pos]
-		switch {
-		case sa.Kind == ir.SubIndex && sb.Kind == ir.SubIndex:
-			if sa.Dim == sb.Dim {
-				dist := sa.Const - sb.Const
-				cur := dvec[sa.Dim]
-				if cur.Kind == Finite && cur.Val != dist {
-					// Two subscript positions demand different
-					// distances on the same loop dim: the subscripts
-					// can never match simultaneously.
-					return nil, true
+		// Value-range pre-filter: when both positions have statically
+		// bounded element coordinates and the bounds are disjoint, the
+		// references can never touch a common element.
+		if aLo, aHi, aok := elemRange(loop.Dims, sa); aok {
+			if bLo, bHi, bok := elemRange(loop.Dims, sb); bok {
+				if aHi < bLo || bHi < aLo {
+					return pairResult{independent: true}
 				}
-				dvec[sa.Dim] = D(dist)
 			}
-			// Different loop dims at the same array position: the
-			// subscripts match whenever p[sa.Dim]+ca == p'[sb.Dim]+cb,
-			// which constrains neither dim to a fixed distance —
-			// leave both Any.
-		case sa.Kind == ir.SubConst && sb.Kind == ir.SubConst:
-			if sa.Const != sb.Const {
-				return nil, true
+		}
+		la, laOK := linearForm(sa)
+		lb, lbOK := linearForm(sb)
+		switch {
+		case laOK && lbOK:
+			// Both positions are numeric linear forms: exact
+			// equal-stride solving or GCD/Banerjee feasibility. The
+			// guarded vector sees the same constraint; it may bottom
+			// out earlier because symbolic positions tightened it.
+			if refineLinear(loop.Dims, dvec, la, lb) {
+				return pairResult{independent: true}
 			}
-		case sa.Kind == ir.SubConst && sb.Kind == ir.SubIndex,
-			sa.Kind == ir.SubIndex && sb.Kind == ir.SubConst:
-			// A fixed coordinate vs. a moving one: they coincide for
-			// exactly one index value; the loop dim remains
-			// unconstrained (Any) because the dependence only ties
-			// iterations whose index hits the constant. Conservative:
-			// keep Any.
-		case sa.Kind == ir.SubRange && sb.Kind == ir.SubRange:
-			if !sa.Full && !sb.Full && (sa.Hi < sb.Lo || sb.Hi < sa.Lo) {
-				return nil, true
+			if !gind && refineLinear(loop.Dims, gvec, la, lb) {
+				gind = true
 			}
-		case sa.Kind == ir.SubRange && sb.Kind == ir.SubConst,
+		case sa.Kind == ir.SubAffine && sb.Kind == ir.SubAffine:
+			// Symbolic strides: provable only when both sides scale the
+			// same loop dimension by the same runtime variable. Elements
+			// match iff s*(q-p) equals the offset difference, which lies
+			// within the window spread — so under s >= spread+1 any
+			// conflict forces q-p = 0 in that dimension, and none is
+			// possible at all when the windows never overlap.
+			da, va, aLo, aHi, aok := symForm(sa)
+			db, vb, bLo, bHi, bok := symForm(sb)
+			if aok && bok && va == vb && da == db {
+				spread := aHi - bLo
+				if s2 := bHi - aLo; s2 > spread {
+					spread = s2
+				}
+				t := spread + 1
+				if t < 1 {
+					t = 1
+				}
+				guards = append(guards, GuardAtom{Var: va, Min: t})
+				switch {
+				case gind:
+					// Already independent under the guard.
+				case aHi < bLo || bHi < aLo:
+					// Disjoint windows: the q-p = 0 residue is empty too.
+					gind = true
+				default:
+					if nd, bad := meetInterval(gvec[da], 0, 0); bad {
+						gind = true
+					} else {
+						gvec[da] = nd
+					}
+				}
+			}
+		case sa.Kind == ir.SubRange && sb.Kind == ir.SubRange,
+			sa.Kind == ir.SubRange && sb.Kind == ir.SubConst,
 			sa.Kind == ir.SubConst && sb.Kind == ir.SubRange:
-			rg, c := sa, sb
-			if sa.Kind == ir.SubConst {
-				rg, c = sb, sa
-			}
-			if !rg.Full && (c.Const < rg.Lo || c.Const > rg.Hi) {
-				return nil, true
-			}
+			// Disjoint static ranges were handled by the pre-filter;
+			// overlapping ones constrain no iteration dimension.
 		default:
-			// SubRuntime vs anything, SubRange vs SubIndex, ...:
-			// conservatively no constraint.
+			// SubRuntime vs anything, SubRange vs SubIndex, symbolic
+			// vs numeric, ...: conservatively no constraint.
 		}
 	}
-	return dvec, false
+	return pairResult{vec: dvec, guards: guards, gvec: gvec, gindependent: gind}
 }
 
 // References able to execute concurrently must touch disjoint elements.

@@ -12,6 +12,7 @@ import (
 type Oracle struct {
 	loop   *ir.LoopSpec
 	bounds map[string][]int64 // array name -> per-dimension extent
+	vars   map[string]int64   // symbolic stride bindings (CoeffVar)
 }
 
 // NewOracle builds an oracle. bounds gives the extents of every
@@ -19,6 +20,15 @@ type Oracle struct {
 // subscripts).
 func NewOracle(loop *ir.LoopSpec, bounds map[string][]int64) *Oracle {
 	return &Oracle{loop: loop, bounds: bounds}
+}
+
+// SetVar binds a symbolic stride variable for oracle evaluation — the
+// concrete value a run would supply for a SubAffine CoeffVar.
+func (o *Oracle) SetVar(name string, v int64) {
+	if o.vars == nil {
+		o.vars = make(map[string]int64)
+	}
+	o.vars[name] = v
 }
 
 // cell is a concrete array element.
@@ -52,6 +62,22 @@ func (o *Oracle) touches(r ir.ArrayRef, p []int64) []cell {
 		case ir.SubRuntime:
 			for v := int64(0); v < ext[pos]; v++ {
 				vals = append(vals, v)
+			}
+		case ir.SubAffine:
+			coeff, known := s.Coeff, true
+			if s.CoeffVar != "" {
+				coeff, known = o.vars[s.CoeffVar]
+			}
+			if !known {
+				// Unbound symbolic stride: any in-bounds value.
+				for v := int64(0); v < ext[pos]; v++ {
+					vals = append(vals, v)
+				}
+				break
+			}
+			base := coeff*(p[s.Dim]+1) + s.Const
+			for t := int64(0); t < s.Span; t++ {
+				vals = append(vals, base+t)
 			}
 		}
 		cands[pos] = vals

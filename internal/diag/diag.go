@@ -37,6 +37,10 @@
 //	ORN201  error    loop is not parallelizable
 //	ORN202  warning  loop requires a unimodular transformation, which
 //	                 the distributed runtime does not execute
+//	ORN203  info     loop is parallelizable only under a synthesized
+//	                 runtime guard, verified once at dispatch
+//	ORN204  info     the runtime guard failed at dispatch; the loop ran
+//	                 as a serial pass instead
 //	ORN301  error    a worker died mid-loop; results are partial
 //	ORN303  error    checkpoint resume rejected: manifest fingerprint
 //	                 does not match the current plan artifact
@@ -70,6 +74,8 @@ const (
 	CodeStalePlan      = "ORN108"
 	CodeNotParallel    = "ORN201"
 	CodeNeedsTransform = "ORN202"
+	CodeGuarded        = "ORN203"
+	CodeGuardDemoted   = "ORN204"
 	CodeWorkerLost     = "ORN301"
 	CodeResumeMismatch = "ORN303"
 )

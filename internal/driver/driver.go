@@ -412,6 +412,20 @@ func (s *Session) ParallelFor(src string, options ...Option) (*sched.Plan, error
 		}
 	}
 
+	// A guarded plan (ORN203) holds only when its runtime predicate
+	// does; evaluate it once against the session's globals, and on
+	// failure demote to a serial driver-side pass (ORN204) instead of
+	// refusing the loop.
+	if e.guard != nil {
+		if ok, why := e.guard.Eval(s.globals); !ok {
+			s.lastDiags.Add(diag.Infof(diag.CodeGuardDemoted, diag.Pos{},
+				fmt.Sprintf("set the guard variables so that %s holds to run this loop in parallel", e.guard),
+				"runtime guard %s failed (%s): loop %q demoted to a serial driver-side pass", e.guard, why, e.spec.Name))
+			s.lastDiags.Sort()
+			return e.plan, s.runDemoted(e, o.passes)
+		}
+	}
+
 	switch e.plan.Kind {
 	case sched.TwoD:
 		if o.ordered {

@@ -1,0 +1,170 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"orion/internal/diag"
+	"orion/internal/dsm"
+	"orion/internal/lang"
+	"orion/internal/sched"
+)
+
+// tileSrc is the guarded tile loop (examples/guarded): parallel only
+// under the synthesized predicate stride >= 8.
+const tileSrc = `
+for (key, v) in tiles
+    for j = 1:8
+        out[stride*key[1]+j] = out[stride*key[1]+j] + v
+    end
+    total += v
+end
+`
+
+const (
+	tileCount = 16
+	tileOut   = 300
+)
+
+func setupTile(t *testing.T, executors int, stride float64) *Session {
+	t.Helper()
+	sess, err := NewLocalSession(executors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sess.CreateArray("tiles", true, tileCount)
+	for i := int64(0); i < tileCount; i++ {
+		in.SetAt(float64(i+1), i)
+	}
+	sess.CreateArray("out", true, tileOut)
+	sess.SetGlobal("stride", stride)
+	sess.SetGlobal("total", 0)
+	return sess
+}
+
+// tileReference interprets the loop serially for the given stride and
+// pass count, returning the out array and the final accumulator.
+func tileReference(t *testing.T, stride float64, passes int) (*dsm.DistArray, float64) {
+	t.Helper()
+	in := dsm.NewDense("tiles", tileCount)
+	for i := int64(0); i < tileCount; i++ {
+		in.SetAt(float64(i+1), i)
+	}
+	out := dsm.NewDense("out", tileOut)
+	m := lang.NewMachine()
+	m.Arrays["tiles"] = in
+	m.Arrays["out"] = out
+	m.Globals["stride"] = stride
+	m.Globals["total"] = float64(0)
+	loop, err := lang.Parse(tileSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < passes; p++ {
+		if err := m.RunLoop(loop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out, m.Globals["total"].(float64)
+}
+
+func diffTile(t *testing.T, sess *Session, ref *dsm.DistArray) float64 {
+	t.Helper()
+	var maxDiff float64
+	ref.ForEach(func(idx []int64, v float64) {
+		d := v - sess.Array("out").At(idx...)
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	})
+	return maxDiff
+}
+
+// TestDriverGuardHeldMatchesInterpreter: with stride = 16 the guard
+// holds, the loop runs distributed under an Independent plan, and — the
+// iterations touching pairwise disjoint windows — the result is bitwise
+// identical to serial interpretation for any executor count.
+func TestDriverGuardHeldMatchesInterpreter(t *testing.T) {
+	const passes = 2
+	for _, n := range []int{1, 3} {
+		sess := setupTile(t, n, 16)
+		pl, err := sess.ParallelFor(tileSrc, Passes(passes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Kind != sched.Independent {
+			t.Fatalf("n=%d: plan kind = %v, want Independent", n, pl.Kind)
+		}
+		if d := sess.Diagnostics().First(diag.CodeGuarded); d == nil {
+			t.Fatalf("n=%d: expected ORN203, got %v", n, sess.Diagnostics())
+		}
+		if d := sess.Diagnostics().First(diag.CodeGuardDemoted); d != nil {
+			t.Fatalf("n=%d: guard holds, must not demote: %v", n, d)
+		}
+		ref, refTotal := tileReference(t, 16, passes)
+		if maxDiff := diffTile(t, sess, ref); maxDiff != 0 {
+			t.Fatalf("n=%d: distributed guarded run differs from serial reference by %g", n, maxDiff)
+		}
+		got, err := sess.Accumulate("total")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != refTotal {
+			t.Fatalf("n=%d: accumulator = %v, want %v", n, got, refTotal)
+		}
+		sess.Close()
+	}
+}
+
+// TestDriverGuardDemotedMatchesInterpreter: with stride = 3 the guard
+// fails at dispatch; the driver emits ORN204, runs the loop as a serial
+// driver-side pass, and the result — arrays and accumulators — is
+// bitwise identical to the interpreter.
+func TestDriverGuardDemotedMatchesInterpreter(t *testing.T) {
+	const passes = 2
+	sess := setupTile(t, 3, 3)
+	defer sess.Close()
+	pl, err := sess.ParallelFor(tileSrc, Passes(passes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl == nil {
+		t.Fatal("demoted run must still report its plan")
+	}
+	d := sess.Diagnostics().First(diag.CodeGuardDemoted)
+	if d == nil {
+		t.Fatalf("expected ORN204, got %v", sess.Diagnostics())
+	}
+	if d.Severity != diag.Info {
+		t.Fatalf("ORN204 severity = %v, want info", d.Severity)
+	}
+	for _, want := range []string{"stride >= 8", "stride = 3"} {
+		if !strings.Contains(d.Message, want) {
+			t.Fatalf("ORN204 message %q missing %q", d.Message, want)
+		}
+	}
+	ref, refTotal := tileReference(t, 3, passes)
+	if maxDiff := diffTile(t, sess, ref); maxDiff != 0 {
+		t.Fatalf("demoted run differs from serial reference by %g", maxDiff)
+	}
+	got, err := sess.Accumulate("total")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != refTotal {
+		t.Fatalf("accumulator after demotion = %v, want %v", got, refTotal)
+	}
+
+	// A later call with a passing stride must run distributed again —
+	// demotion is per-dispatch, not sticky.
+	sess.SetGlobal("stride", 11)
+	if _, err := sess.ParallelFor(tileSrc, Passes(1)); err != nil {
+		t.Fatal(err)
+	}
+	if d := sess.Diagnostics().First(diag.CodeGuardDemoted); d != nil {
+		t.Fatalf("passing guard must not demote: %v", d)
+	}
+}

@@ -26,6 +26,11 @@ type compiledLoop struct {
 	deps *dep.Set
 	plan *sched.Plan
 	art  *plan.Artifact
+	// guard, when non-nil, makes plan conditional: the synthesized
+	// runtime predicate (ORN203) is evaluated against the session's
+	// globals at dispatch, and a failure demotes the loop to a serial
+	// driver-side pass (ORN204) instead of refusing it.
+	guard *dep.Guard
 	// diags is the diagnostic list the compile produced; replayed into
 	// Session.Diagnostics on cache hits.
 	diags diag.List
@@ -129,6 +134,7 @@ func (s *Session) compile(src string, ordered bool) (*compiledLoop, error) {
 		plan:     res.Plan,
 		diags:    append(diag.List(nil), res.Diags...),
 		evidence: blockingEvidence(res),
+		guard:    res.Guard,
 	}
 
 	in := plan.Inputs{
@@ -140,6 +146,7 @@ func (s *Session) compile(src string, ordered bool) (*compiledLoop, error) {
 		TimeParts: s.n,
 		LoopSrc:   e.loop.String(),
 		Prefetch:  s.prefetchSpec(e, ordered),
+		Guard:     res.Guard,
 	}
 	// Partition weights come from the session's current data; the
 	// artifact records their digest so execution can detect drift and
@@ -228,6 +235,7 @@ func (s *Session) entryFromArtifact(art *plan.Artifact) (*compiledLoop, error) {
 		plan:     pl,
 		art:      art,
 		evidence: evidence,
+		guard:    art.Guard,
 	}, nil
 }
 

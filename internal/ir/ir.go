@@ -34,6 +34,18 @@ const (
 	// conservatively treated as possibly taking any value within the
 	// array's bounds.
 	SubRuntime
+	// SubAffine is a general affine subscript c*key[d] + b, optionally
+	// widened by an inner-loop offset into a contiguous window: the
+	// reference touches the 0-based elements
+	//
+	//	coeff*(key[d]+1) + Const + t   for t in [0, Span-1]
+	//
+	// where key[d] is the 0-based loop index and coeff is either the
+	// compile-time constant Coeff or, when CoeffVar is set, the runtime
+	// value of the inherited driver variable named CoeffVar (a symbolic
+	// stride — the dependence analyzer can only discharge it with a
+	// synthesized runtime guard).
+	SubAffine
 )
 
 func (k SubscriptKind) String() string {
@@ -46,6 +58,8 @@ func (k SubscriptKind) String() string {
 		return "range"
 	case SubRuntime:
 		return "runtime"
+	case SubAffine:
+		return "affine"
 	default:
 		return fmt.Sprintf("SubscriptKind(%d)", int(k))
 	}
@@ -64,6 +78,17 @@ type Subscript struct {
 	Lo, Hi int64
 	// Full marks a whole-dimension range query (":").
 	Full bool
+	// Coeff is the constant stride multiplying the 1-based loop index
+	// for SubAffine. Ignored (and zero) when CoeffVar is set.
+	Coeff int64
+	// CoeffVar names the inherited driver variable supplying the stride
+	// at dispatch time for a SubAffine subscript whose coefficient is
+	// not a compile-time constant.
+	CoeffVar string
+	// Span is the width (>= 1) of the contiguous element window a
+	// SubAffine subscript covers: an inner-range offset j in lo:hi turns
+	// a point access into a window of hi-lo+1 elements.
+	Span int64
 }
 
 // Index returns a SubIndex subscript key[dim] + c.
@@ -81,6 +106,18 @@ func Range(lo, hi int64) Subscript { return Subscript{Kind: SubRange, Lo: lo, Hi
 // Runtime returns a data-dependent subscript.
 func Runtime() Subscript { return Subscript{Kind: SubRuntime} }
 
+// Affine returns a SubAffine subscript coeff*(key[dim]+1) + c covering a
+// window of span consecutive elements.
+func Affine(dim int, coeff, c, span int64) Subscript {
+	return Subscript{Kind: SubAffine, Dim: dim, Coeff: coeff, Const: c, Span: span}
+}
+
+// AffineVar returns a SubAffine subscript whose stride is the runtime
+// value of the inherited driver variable coeffVar.
+func AffineVar(dim int, coeffVar string, c, span int64) Subscript {
+	return Subscript{Kind: SubAffine, Dim: dim, CoeffVar: coeffVar, Const: c, Span: span}
+}
+
 func (s Subscript) String() string {
 	switch s.Kind {
 	case SubIndex:
@@ -97,6 +134,19 @@ func (s Subscript) String() string {
 		return fmt.Sprintf("%d:%d", s.Lo, s.Hi)
 	case SubRuntime:
 		return "?"
+	case SubAffine:
+		coeff := s.CoeffVar
+		if coeff == "" {
+			coeff = fmt.Sprintf("%d", s.Coeff)
+		}
+		out := fmt.Sprintf("%s*(key[%d]+1)", coeff, s.Dim+1)
+		if s.Const != 0 {
+			out += fmt.Sprintf("%+d", s.Const)
+		}
+		if s.Span > 1 {
+			out += fmt.Sprintf("+[0:%d]", s.Span-1)
+		}
+		return out
 	default:
 		return "<invalid>"
 	}
@@ -190,9 +240,19 @@ func (l *LoopSpec) Validate() error {
 			return fmt.Errorf("ir: loop %q: reference to %q has no subscripts", l.Name, r.Array)
 		}
 		for _, s := range r.Subs {
-			if s.Kind == SubIndex && (s.Dim < 0 || s.Dim >= len(l.Dims)) {
+			if (s.Kind == SubIndex || s.Kind == SubAffine) && (s.Dim < 0 || s.Dim >= len(l.Dims)) {
 				return fmt.Errorf("ir: loop %q: reference %s uses loop index dimension %d outside iteration space of %d dims",
 					l.Name, r, s.Dim, len(l.Dims))
+			}
+			if s.Kind == SubAffine {
+				if s.Span < 1 {
+					return fmt.Errorf("ir: loop %q: reference %s has affine subscript with span %d < 1",
+						l.Name, r, s.Span)
+				}
+				if s.CoeffVar != "" && s.Coeff != 0 {
+					return fmt.Errorf("ir: loop %q: reference %s has affine subscript with both constant and symbolic coefficients",
+						l.Name, r)
+				}
 			}
 		}
 	}

@@ -64,6 +64,7 @@ func Analyze(loop *Loop, env *Env) (*ir.LoopSpec, error) {
 // names the source in diagnostic positions (may be empty).
 func AnalyzeDiags(loop *Loop, env *Env, file string) (*ir.LoopSpec, diag.List) {
 	a := &analyzer{loop: loop, env: env, file: file}
+	a.allAssigned, a.assignTargets = assignedNames(loop.Body)
 	dims, iterKnown := env.Arrays[loop.IterVar]
 	if !iterKnown {
 		a.errorf(diag.CodeUnknownIter, loop.IterPos,
@@ -97,6 +98,46 @@ type analyzer struct {
 	assigned  map[string]bool
 	used      map[string]bool
 	rangeVars map[string]bool
+	// allAssigned holds every name the body ever assigns (including
+	// inner range counters), precomputed before the walk: subscript
+	// classification must not treat a body-assigned variable as a
+	// loop-invariant symbolic stride.
+	allAssigned map[string]bool
+	// assignTargets holds names assigned by Assign statements only
+	// (excluding range counters bound by their own for loop); a counter
+	// that is also reassigned loses its static bounds.
+	assignTargets map[string]bool
+	// rangeBounds maps inner range counters in scope to their constant
+	// inclusive bounds, maintained during the walk.
+	rangeBounds map[string][2]int64
+}
+
+// assignedNames precollects assignment targets from the body: all holds
+// every assigned name including range counters; targets holds only
+// Assign statement targets.
+func assignedNames(body []Stmt) (all, targets map[string]bool) {
+	all = make(map[string]bool)
+	targets = make(map[string]bool)
+	var walk func([]Stmt)
+	walk = func(stmts []Stmt) {
+		for _, st := range stmts {
+			switch s := st.(type) {
+			case *Assign:
+				if id, ok := s.Target.(*Ident); ok {
+					all[id.Name] = true
+					targets[id.Name] = true
+				}
+			case *If:
+				walk(s.Then)
+				walk(s.Else)
+			case *ForRange:
+				all[s.Var] = true
+				walk(s.Body)
+			}
+		}
+	}
+	walk(body)
+	return all, targets
 }
 
 func (a *analyzer) pos(p Pos) diag.Pos {
@@ -114,7 +155,7 @@ func (a *analyzer) validateSpec(spec *ir.LoopSpec) {
 	bad := false
 	for _, r := range spec.Refs {
 		for i, s := range r.Subs {
-			if s.Kind == ir.SubIndex && (s.Dim < 0 || s.Dim >= len(spec.Dims)) {
+			if (s.Kind == ir.SubIndex || s.Kind == ir.SubAffine) && (s.Dim < 0 || s.Dim >= len(spec.Dims)) {
 				bad = true
 				a.errorf(diag.CodeDimRange, Pos{Line: r.Line, Col: r.Col},
 					"the loop key has one entry per iteration-space dimension; use key[1].."+
@@ -196,7 +237,23 @@ func (a *analyzer) stmt(st Stmt) {
 		}
 		a.assigned[s.Var] = true
 		a.rangeVars[s.Var] = true
+		if a.rangeBounds == nil {
+			a.rangeBounds = make(map[string][2]int64)
+		}
+		prev, had := a.rangeBounds[s.Var]
+		lo, okL := constFold(s.Lo)
+		hi, okH := constFold(s.Hi)
+		if okL && okH && lo <= hi && !a.assignTargets[s.Var] {
+			a.rangeBounds[s.Var] = [2]int64{lo, hi}
+		} else {
+			delete(a.rangeBounds, s.Var)
+		}
 		a.stmts(s.Body)
+		if had {
+			a.rangeBounds[s.Var] = prev
+		} else {
+			delete(a.rangeBounds, s.Var)
+		}
 	case *ExprStmt:
 		a.expr(s.X)
 	default:
@@ -343,6 +400,39 @@ func (a *analyzer) classify(e Expr) ir.Subscript {
 					}
 				}
 			}
+			// General affine forms: c*key[d] ± b, g*key[d] ± b (symbolic
+			// stride g), and windows core + j for an inner range counter
+			// j with constant bounds.
+			if dim, coeff, coeffVar, ok := a.affineTerm(x.L); ok {
+				if c, ok3 := constFold(x.R); ok3 {
+					if x.Op == "-" {
+						c = -c
+					}
+					return a.affineSub(dim, coeff, coeffVar, c, 1)
+				}
+				if id, iok := x.R.(*Ident); iok && x.Op == "+" {
+					if b, bok := a.rangeBounds[id.Name]; bok {
+						return a.affineSub(dim, coeff, coeffVar, b[0], b[1]-b[0]+1)
+					}
+				}
+			}
+			if x.Op == "+" {
+				if dim, coeff, coeffVar, ok := a.affineTerm(x.R); ok {
+					if c, ok3 := constFold(x.L); ok3 {
+						return a.affineSub(dim, coeff, coeffVar, c, 1)
+					}
+					if id, iok := x.L.(*Ident); iok {
+						if b, bok := a.rangeBounds[id.Name]; bok {
+							return a.affineSub(dim, coeff, coeffVar, b[0], b[1]-b[0]+1)
+						}
+					}
+				}
+			}
+		}
+		if x.Op == "*" {
+			if dim, coeff, coeffVar, ok := a.affineTerm(x); ok {
+				return a.affineSub(dim, coeff, coeffVar, 0, 1)
+			}
 		}
 		if c, ok := constFold(e); ok {
 			return ir.Const(c - 1)
@@ -354,6 +444,74 @@ func (a *analyzer) classify(e Expr) ir.Subscript {
 		}
 		return ir.Runtime()
 	}
+}
+
+// affineTerm recognizes the multiplicative core of an affine subscript:
+// key[d], c*key[d], key[d]*c, g*key[d], or key[d]*g, where c is a
+// non-zero integer constant and g a loop-invariant driver variable (the
+// symbolic-stride case). Returns the 0-based loop dimension and the
+// coefficient — coeffVar non-empty for the symbolic form.
+func (a *analyzer) affineTerm(e Expr) (dim int, coeff int64, coeffVar string, ok bool) {
+	if ki, isIdx := e.(*Index); isIdx {
+		if d, k := a.keyIndex(ki); k {
+			return d, 1, "", true
+		}
+		return 0, 0, "", false
+	}
+	x, isBin := e.(*BinOp)
+	if !isBin || x.Op != "*" {
+		return 0, 0, "", false
+	}
+	side := func(keySide, coefSide Expr) (int, int64, string, bool) {
+		ki, isIdx := keySide.(*Index)
+		if !isIdx {
+			return 0, 0, "", false
+		}
+		d, k := a.keyIndex(ki)
+		if !k {
+			return 0, 0, "", false
+		}
+		if c, cok := constFold(coefSide); cok && c != 0 {
+			return d, c, "", true
+		}
+		if id, iok := coefSide.(*Ident); iok && a.symbolicCoeff(id.Name) {
+			return d, 0, id.Name, true
+		}
+		return 0, 0, "", false
+	}
+	if d, c, v, k := side(x.L, x.R); k {
+		return d, c, v, true
+	}
+	return side(x.R, x.L)
+}
+
+// symbolicCoeff reports whether name can serve as a symbolic stride: a
+// driver variable the body never reassigns, so its value is fixed for
+// the whole loop and known to the driver at dispatch.
+func (a *analyzer) symbolicCoeff(name string) bool {
+	if name == a.loop.KeyVar || name == a.loop.ValVar || builtins[name] {
+		return false
+	}
+	if _, isArr := a.env.Arrays[name]; isArr {
+		return false
+	}
+	if _, isBuf := a.env.Buffers[name]; isBuf {
+		return false
+	}
+	return !a.allAssigned[name]
+}
+
+// affineSub converts the DSL-level affine form coeff*key[dim] + b (over
+// 1-based values, a window of span consecutive elements) into the
+// 0-based IR record: element = coeff*key_dsl + b - 1 + [0, span-1].
+func (a *analyzer) affineSub(dim int, coeff int64, coeffVar string, b, span int64) ir.Subscript {
+	if coeffVar != "" {
+		return ir.AffineVar(dim, coeffVar, b-1, span)
+	}
+	if coeff == 1 && span == 1 {
+		return ir.Index(dim, b-1) // unit stride: the classic SubIndex form
+	}
+	return ir.Affine(dim, coeff, b-1, span)
 }
 
 // keyIndex recognizes key[k] (1-based) and returns the 0-based loop

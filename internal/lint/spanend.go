@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// SpanEnd flags trace spans that are started but not ended on every
+// return path. The obs tracing convention is
+//
+//	start := tb.Begin()
+//	...
+//	tb.End("name", "cat", start)   // or EndN / EndNN
+//
+// and an early `return err` between the two silently drops the span:
+// the trace shows a hole exactly where the interesting (failing) run
+// went. The check is lexical per function scope: every return
+// statement after a Begin assignment must be preceded by a use of the
+// span variable (normally the End call), the return itself must use
+// it, or a defer in the function must consume it.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every trace span started with Begin() is ended on all return paths",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(p *Pass) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		funcBodies(f, func(body *ast.BlockStmt) {
+			out = append(out, checkSpans(p, body)...)
+		})
+	}
+	return out
+}
+
+// beginAssign matches `x := recv.Begin()` (or `x = recv.Begin()`).
+func beginAssign(n ast.Node) (*ast.AssignStmt, string) {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, ""
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, ""
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Begin" {
+		return nil, ""
+	}
+	return as, id.Name
+}
+
+func checkSpans(p *Pass, body *ast.BlockStmt) []Finding {
+	// One shallow walk collects the function's Begin assignments,
+	// return statements, defers, and identifier references; nested
+	// function literals are separate scopes.
+	type span struct {
+		assign *ast.AssignStmt
+		name   string
+	}
+	var spans []span
+	var returns []*ast.ReturnStmt
+	uses := map[string][]token.Pos{} // ident name → reference positions
+	deferred := map[string]bool{}    // names consumed by a defer
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if as, name := beginAssign(x); as != nil {
+				spans = append(spans, span{assign: as, name: name})
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, x)
+		case *ast.DeferStmt:
+			ast.Inspect(x.Call, func(d ast.Node) bool {
+				if id, ok := d.(*ast.Ident); ok {
+					deferred[id.Name] = true
+				}
+				return true
+			})
+		case *ast.Ident:
+			uses[x.Name] = append(uses[x.Name], x.Pos())
+		}
+		return true
+	})
+
+	var out []Finding
+	for _, s := range spans {
+		if deferred[s.name] {
+			continue
+		}
+		// References to the span variable after its Begin assignment.
+		var refs []token.Pos
+		for _, pos := range uses[s.name] {
+			if pos > s.assign.End() {
+				refs = append(refs, pos)
+			}
+		}
+		report := func(format string, args ...any) {
+			out = append(out, Finding{
+				Analyzer: "spanend",
+				Pos:      p.Fset.Position(s.assign.Pos()),
+				Message:  fmt.Sprintf("span %q started here: ", s.name) + fmt.Sprintf(format, args...),
+			})
+		}
+		if len(refs) == 0 {
+			report("never ended (call End/EndN with it, or remove the Begin)")
+			continue
+		}
+		for _, ret := range returns {
+			if ret.Pos() < s.assign.End() {
+				continue
+			}
+			covered := false
+			for _, pos := range refs {
+				// A use before the return, or inside the return
+				// expression itself, covers this path.
+				if pos < ret.Pos() || (pos >= ret.Pos() && pos <= ret.End()) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				report("not ended on the return path at line %d (End it before returning, or use defer)",
+					p.Fset.Position(ret.Pos()).Line)
+			}
+		}
+	}
+	return out
+}

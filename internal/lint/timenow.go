@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// deterministicPkgs are the packages whose behavior must be a pure
+// function of their inputs: the static pipeline (fingerprints, golden
+// plans) and the replay-deterministic execution semantics depend on
+// it. A wall-clock read anywhere in them silently breaks plan-cache
+// content hashes, golden tests, and chaos-harness replays.
+var deterministicPkgs = map[string]bool{
+	"orion/internal/ir":         true,
+	"orion/internal/lang":       true,
+	"orion/internal/dep":        true,
+	"orion/internal/sched":      true,
+	"orion/internal/unimodular": true,
+	"orion/internal/plan":       true,
+	"orion/internal/check":      true,
+	"orion/internal/diag":       true,
+	"orion/internal/dsm":        true,
+	"orion/internal/dslkernel":  true,
+	"orion/internal/engine":     true,
+}
+
+// wallClockFuncs are the time-package functions that observe or depend
+// on the wall clock (or a real timer).
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Sleep":     true,
+}
+
+// TimeNow flags wall-clock reads inside the deterministic packages.
+var TimeNow = &Analyzer{
+	Name: "timenow",
+	Doc:  "no time.Now (or other wall-clock reads) in deterministic replay/fingerprint packages",
+	Run:  runTimeNow,
+}
+
+func runTimeNow(p *Pass) []Finding {
+	if !deterministicPkgs[p.Path] {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		if p.IsTestFile(f) {
+			continue
+		}
+		// Resolve the local name of the "time" import (usually "time").
+		timeName := ""
+		for _, imp := range f.Imports {
+			if imp.Path.Value != `"time"` {
+				continue
+			}
+			timeName = "time"
+			if imp.Name != nil {
+				timeName = imp.Name.Name
+			}
+		}
+		if timeName == "" || timeName == "_" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != timeName || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			out = append(out, Finding{
+				Analyzer: "timenow",
+				Pos:      p.Fset.Position(sel.Pos()),
+				Message: "wall-clock read " + timeName + "." + sel.Sel.Name +
+					" in deterministic package " + p.Path +
+					" (plan fingerprints and replay depend on it being input-pure; inject the clock from the caller)",
+			})
+			return true
+		})
+	}
+	return out
+}

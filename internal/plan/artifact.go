@@ -39,7 +39,7 @@ import (
 // Version is the artifact schema version. Decoders reject any other
 // value with ErrVersionSkew; bump it whenever the serialized shape
 // changes incompatibly.
-const Version = 1
+const Version = 2
 
 // ErrVersionSkew marks an artifact whose schema version does not match
 // this build's Version.
@@ -253,6 +253,12 @@ type Artifact struct {
 	Arrays []ArrayPlan `json:"arrays,omitempty"`
 	// Prefetch is the synthesized bulk-prefetch spec, if any.
 	Prefetch *Prefetch `json:"prefetch,omitempty"`
+	// Guard, when non-nil, is the synthesized runtime predicate the
+	// strategy is conditional on: the driver evaluates it once at
+	// dispatch against the inherited globals and demotes the loop to a
+	// serial pass when it fails (ORN204). Deps always records the
+	// unguarded (conservative) vector set.
+	Guard *dep.Guard `json:"guard,omitempty"`
 	// LoopSrc is the canonical DSL source of the loop body, carried so
 	// executors (and cache hits) need no side channel for the code.
 	LoopSrc string `json:"loop_src,omitempty"`
@@ -367,6 +373,16 @@ func (a *Artifact) Validate() error {
 	if a.Prefetch != nil && (a.Prefetch.Src == "" || len(a.Prefetch.Arrays) == 0) {
 		return fmt.Errorf("plan: prefetch spec missing source or arrays")
 	}
+	if a.Guard != nil {
+		if len(a.Guard.Atoms) == 0 {
+			return fmt.Errorf("plan: guard with no atoms")
+		}
+		for _, g := range a.Guard.Atoms {
+			if g.Var == "" {
+				return fmt.Errorf("plan: guard atom with empty variable")
+			}
+		}
+	}
 	return nil
 }
 
@@ -470,6 +486,9 @@ type Inputs struct {
 	TimeWeights  []int64
 	LoopSrc      string
 	Prefetch     *Prefetch
+	// Guard is the synthesized runtime predicate the plan's strategy is
+	// conditional on (nil for unconditional plans).
+	Guard *dep.Guard
 }
 
 // Build materializes the artifact: it snapshots the plan, computes the
@@ -494,6 +513,7 @@ func Build(in Inputs) (*Artifact, error) {
 		Workers:     in.Workers,
 		LoopSrc:     in.LoopSrc,
 		Prefetch:    in.Prefetch,
+		Guard:       in.Guard,
 	}
 	if in.Deps != nil {
 		a.Deps = in.Deps.Vectors()
@@ -576,6 +596,9 @@ func (a *Artifact) Describe() string {
 	if a.Prefetch != nil {
 		fmt.Fprintf(&b, "Synthesized prefetch for: %s\n", strings.Join(a.Prefetch.Arrays, ", "))
 	}
+	if a.Guard != nil {
+		fmt.Fprintf(&b, "Runtime guard: %s (on failure: serial fallback)\n", a.Guard)
+	}
 	return b.String()
 }
 
@@ -656,7 +679,17 @@ func Diff(a, b *Artifact) []string {
 	if ap != bp {
 		d("~ prefetch: %s -> %s", ap, bp)
 	}
+	if ag, bg := guardString(a.Guard), guardString(b.Guard); ag != bg {
+		d("~ guard: %s -> %s", ag, bg)
+	}
 	return out
+}
+
+func guardString(g *dep.Guard) string {
+	if g == nil {
+		return "none"
+	}
+	return g.String()
 }
 
 func partitionDelta(a, b Partition) (string, string) {

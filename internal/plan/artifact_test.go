@@ -2,6 +2,7 @@ package plan
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -245,7 +246,7 @@ func TestDecodeVersionSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sj := strings.Replace(string(j), `"version": 1`, `"version": 99`, 1)
+	sj := strings.Replace(string(j), fmt.Sprintf(`"version": %d`, Version), `"version": 99`, 1)
 	if _, err := DecodeJSON([]byte(sj)); !errors.Is(err, ErrVersionSkew) {
 		t.Errorf("json decode of future version: err = %v, want ErrVersionSkew", err)
 	}

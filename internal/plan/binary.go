@@ -195,6 +195,9 @@ func (a *Artifact) EncodeBinary() []byte {
 			e.varint(s.Lo)
 			e.varint(s.Hi)
 			e.bool(s.Full)
+			e.varint(s.Coeff)
+			e.str(s.CoeffVar)
+			e.varint(s.Span)
 		}
 	}
 
@@ -236,6 +239,16 @@ func (a *Artifact) EncodeBinary() []byte {
 		e.uvarint(uint64(len(a.Prefetch.Arrays)))
 		for _, s := range a.Prefetch.Arrays {
 			e.str(s)
+		}
+	}
+
+	// Guard.
+	e.bool(a.Guard != nil)
+	if a.Guard != nil {
+		e.uvarint(uint64(len(a.Guard.Atoms)))
+		for _, g := range a.Guard.Atoms {
+			e.str(g.Var)
+			e.varint(g.Min)
 		}
 	}
 
@@ -285,6 +298,9 @@ func DecodeBinary(b []byte) (*Artifact, error) {
 				s.Lo = d.varint()
 				s.Hi = d.varint()
 				s.Full = d.bool()
+				s.Coeff = d.varint()
+				s.CoeffVar = d.str()
+				s.Span = d.varint()
 				r.Subs = append(r.Subs, s)
 			}
 			l.Refs = append(l.Refs, r)
@@ -333,6 +349,16 @@ func DecodeBinary(b []byte) (*Artifact, error) {
 			}
 		}
 		a.Prefetch = p
+	}
+
+	if d.bool() {
+		g := &dep.Guard{}
+		if n := d.count("guard atoms", maxCount); d.err == nil {
+			for i := 0; i < n && d.err == nil; i++ {
+				g.Atoms = append(g.Atoms, dep.GuardAtom{Var: d.str(), Min: d.varint()})
+			}
+		}
+		a.Guard = g
 	}
 
 	a.LoopSrc = d.str()

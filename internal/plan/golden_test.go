@@ -33,6 +33,10 @@ var goldenPrograms = map[string]string{
 	"../../examples/slr_prefetch/slr.orion":  "slr_prefetch-slr.json",
 	"../../examples/vet_demo/fixed.orion":    "vet_demo-fixed.json",
 	"../../examples/vet_demo/unsafe.orion":   "vet_demo-unsafe.json",
+	// Symbolic-tier programs: a static stride proof and a synthesized
+	// runtime guard (the artifact serializes the guard predicate).
+	"../../examples/strided/interleave.orion": "strided-interleave.json",
+	"../../examples/guarded/tile.orion":       "guarded-tile.json",
 }
 
 // compileExample runs the static pipeline over an example program and

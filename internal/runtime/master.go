@@ -457,10 +457,14 @@ func (m *Master) ParallelFor(def LoopDef) error {
 					msg.TimeLo, msg.TimeHi = lo, hi
 				}
 				if err := m.conns[j].send(msg); err != nil {
+					m.trace.EndNN("clock.step", "master", stepStart, "pass", int64(pass), "step", int64(step))
 					return fmt.Errorf("runtime: dispatch to executor %d failed (%v): %w", j, err, ErrWorkerLost)
 				}
 			}
 			if err := m.stepBarrier(); err != nil {
+				// End the span on the failure path too — a trace that
+				// loses exactly the failing step is useless.
+				m.trace.EndNN("clock.step", "master", stepStart, "pass", int64(pass), "step", int64(step))
 				return err
 			}
 			m.clock.Add(1)

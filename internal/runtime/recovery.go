@@ -57,6 +57,11 @@ func (m *Master) checkpointDue(def LoopDef, step, steps int) bool {
 func (m *Master) writeCheckpoint(def LoopDef, pass, step, steps int) error {
 	spec := def.Checkpoint
 	start := m.trace.Begin()
+	// The span must close on every path — including failed gathers —
+	// so the trace shows how long a checkpoint attempt took before it
+	// died. bytes stays 0 unless the write succeeds.
+	var bytes int64
+	defer func() { m.trace.EndN("ckpt.write", "master", start, "bytes", bytes) }()
 	arrays := make([]*dsm.DistArray, 0, len(spec.Arrays))
 	for _, name := range spec.Arrays {
 		a, err := m.Gather(name)
@@ -86,13 +91,13 @@ func (m *Master) writeCheckpoint(def LoopDef, pass, step, steps int) error {
 		Fingerprint: spec.Fingerprint,
 		Accums:      accums,
 	}
-	bytes, err := dsm.WriteCheckpoint(spec.Dir, man, arrays, spec.Keep)
+	written, err := dsm.WriteCheckpoint(spec.Dir, man, arrays, spec.Keep)
 	if err != nil {
 		return err
 	}
+	bytes = written
 	obs.GetCounter("checkpoint.writes").Inc()
 	obs.GetCounter("checkpoint.bytes").Add(bytes)
-	m.trace.EndN("ckpt.write", "master", start, "bytes", bytes)
 	return nil
 }
 
