@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race chaos bench-smoke vet-examples fuzz bench-baseline bench-obs golden-plans golden-plans-check
+.PHONY: check fmt vet lint build test race chaos bench-smoke vet-examples fuzz bench-baseline bench-obs bench-vm bench-transport golden-plans golden-plans-check
 
 check: fmt vet lint build test race chaos bench-smoke golden-plans-check
 
@@ -42,10 +42,13 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/runtime ./internal/driver
 
 # One iteration of every benchmark — catches bit-rotted benchmark code
-# without paying for real measurement.
+# without paying for real measurement. internal/bench also carries the
+# threshold tests over the committed BENCH_vm.json / BENCH_transport.json
+# baselines (run under `test`), so VM and transport regressions fail
+# `make check` twice over.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x \
-		./internal/lang ./internal/dsm ./internal/runtime
+		./internal/lang ./internal/dsm ./internal/runtime ./internal/bench
 
 # Regenerate the committed interp-vs-compiled kernel baseline.
 bench-baseline:
@@ -54,6 +57,17 @@ bench-baseline:
 # Regenerate the committed observability-overhead baseline.
 bench-obs:
 	$(GO) run ./cmd/orion-bench -obs-json BENCH_obs.json
+
+# Regenerate the committed loop-backend baseline (interp vs closure
+# compiler vs bytecode VM). TestVMBaselineThresholds gates the result.
+bench-vm:
+	$(GO) run ./cmd/orion-bench -vm-json BENCH_vm.json
+
+# Regenerate the committed rotation-transport baseline (gob blobs vs
+# the raw codec over pooled buffers). TestTransportBaselineThresholds
+# gates the result.
+bench-transport:
+	$(GO) run ./cmd/orion-bench -transport-json BENCH_transport.json
 
 # Vet every shipped example program; unsafe.orion is expected to fail.
 vet-examples:
@@ -73,10 +87,11 @@ golden-plans-check:
 	$(GO) test ./internal/plan -run TestGolden
 
 # Short fuzzing sessions over the DSL front end, the plan-artifact
-# decoders, and the symbolic dependence tier (soundness vs the
-# brute-force oracle).
+# decoders, the symbolic dependence tier (soundness vs the brute-force
+# oracle), and the three-way interp/closure/VM execution differential.
 fuzz:
 	$(GO) test ./internal/lang -fuzz 'FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/lang -fuzz FuzzParseProgram -fuzztime 30s
 	$(GO) test ./internal/plan -fuzz FuzzDecodeArtifact -fuzztime 30s
 	$(GO) test ./internal/dep -fuzz FuzzRangeAnalysis -fuzztime 30s
+	$(GO) test ./internal/lang/vm -fuzz FuzzExecDifferential -fuzztime 30s

@@ -48,6 +48,8 @@ func Experiments() map[string]Runner {
 		"ablation-dims":     AblationDims,
 		"ablation-pipeline": AblationPipeline,
 		"obs":               ObsOverhead,
+		"vm":                VMBackends,
+		"transport":         TransportRotation,
 	}
 }
 

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"orion/internal/dsm"
+	"orion/internal/lang"
+	"orion/internal/lang/vm"
+	"orion/internal/metrics"
+)
+
+// The bytecode-VM experiment: per-iteration cost of the three loop
+// backends — tree-walking interpreter, closure compiler, and register
+// bytecode VM (both single-iteration dispatch and the batched RunBlock
+// driver) — on the MF/LDA/SLR kernels, plus the VM's steady-state
+// allocation count. The committed BENCH_vm.json baseline gates the VM's
+// speedup over the closure backend in TestVMBaselineThresholds.
+
+type vmKernelRow struct {
+	Kernel            string  `json:"kernel"`
+	InterpNsPerIter   float64 `json:"interp_ns_per_iter"`
+	CompiledNsPerIter float64 `json:"compiled_ns_per_iter"`
+	VMNsPerIter       float64 `json:"vm_ns_per_iter"`
+	VMBlockNsPerIter  float64 `json:"vm_block_ns_per_iter"`
+	VMAllocsPerIter   int64   `json:"vm_allocs_per_iter"`
+	SpeedupVsCompiled float64 `json:"speedup_vs_compiled"`
+}
+
+type vmBaseline struct {
+	Description string        `json:"description"`
+	Kernels     []vmKernelRow `json:"kernels"`
+}
+
+// vmFixtureArrays builds and fills the fixture arrays with the same
+// seed the obs experiment uses.
+func vmFixtureArrays(ok obsKernel) map[string]*dsm.DistArray {
+	rng := rand.New(rand.NewSource(17))
+	arrays := map[string]*dsm.DistArray{}
+	for name, dims := range ok.arrays {
+		a := dsm.NewDense(name, dims...)
+		a.Map(func(float64) float64 { return float64(1 + rng.Intn(6)) })
+		arrays[name] = a
+	}
+	return arrays
+}
+
+// vmBlockKeys expands the fixture's single (key, val) into a block of
+// in-bounds iterations for the batched driver. Runtime keys are
+// 0-based array coordinates (the DSL's key[i] yields the 1-based
+// coordinate).
+func vmBlockKeys(ok obsKernel, n int) (keys [][]int64, vals []float64) {
+	iterDims := ok.arrays[firstIterArray(ok)]
+	keys = make([][]int64, n)
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		k := make([]int64, len(ok.key))
+		for d := range k {
+			k[d] = int64(i % int(iterDims[d]))
+		}
+		keys[i] = k
+		// Keep values inside every kernel's valid domain (SLR needs
+		// val*100 to index a 128-wide weights array).
+		vals[i] = 0.01 + float64(i%90)*0.01
+	}
+	return keys, vals
+}
+
+// firstIterArray names the iteration-space array of a fixture (the
+// array the loop ranges over).
+func firstIterArray(ok obsKernel) string {
+	switch ok.name {
+	case "MF":
+		return "ratings"
+	case "LDA":
+		return "tokens"
+	default:
+		return "samples"
+	}
+}
+
+// measureVM benchmarks all three backends per fixture kernel.
+func measureVM() (*vmBaseline, error) {
+	out := &vmBaseline{
+		Description: "loop backend cost per iteration: tree-walking interpreter vs closure compiler vs register bytecode VM (single-iteration and batched RunBlock dispatch), same MF/LDA/SLR fixtures as BENCH_obs.json; speedup_vs_compiled = compiled_ns / vm_block_ns",
+	}
+	for _, ok := range obsKernels() {
+		loop, err := lang.Parse(ok.src)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, 0, len(ok.globals))
+		for n := range ok.globals {
+			names = append(names, n)
+		}
+		env := &lang.CompileEnv{Arrays: ok.arrays, Buffers: ok.buffers, Globals: names}
+
+		// Interpreter.
+		m := lang.NewMachine()
+		arrays := vmFixtureArrays(ok)
+		for n, a := range arrays {
+			m.Arrays[n] = a
+		}
+		for n, target := range ok.buffers {
+			m.Buffers[n] = dsm.NewBuffer(arrays[target], nil)
+		}
+		for n, v := range ok.globals {
+			m.Globals[n] = v
+		}
+		m.Rng = rand.New(rand.NewSource(99))
+		interpNs, _ := benchNs(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := m.RunIteration(loop, ok.key, ok.val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// Closure compiler (fresh arrays so state drift is comparable).
+		ck, err := ok.newKernel()
+		if err != nil {
+			return nil, err
+		}
+		compiledNs, _ := benchNs(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := ck.RunIteration(ok.key, ok.val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// Bytecode VM, single-iteration and batched dispatch.
+		prog, err := vm.Compile(loop, env)
+		if err != nil {
+			return nil, fmt.Errorf("vm.Compile(%s): %v", ok.name, err)
+		}
+		vk := prog.NewKernel()
+		varrays := vmFixtureArrays(ok)
+		for n, a := range varrays {
+			if err := vk.BindArray(n, a); err != nil {
+				return nil, err
+			}
+		}
+		for n, target := range ok.buffers {
+			if err := vk.BindBuffer(n, dsm.NewBuffer(varrays[target], nil)); err != nil {
+				return nil, err
+			}
+		}
+		for n, v := range ok.globals {
+			vk.SetGlobal(n, v)
+		}
+		vk.SetRng(rand.New(rand.NewSource(99)))
+		vmNs, vmAllocs := benchNs(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := vk.RunIteration(ok.key, ok.val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		const blockLen = 256
+		keys, vals := vmBlockKeys(ok, blockLen)
+		blockNs, _ := benchNs(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := vk.RunBlock(keys, vals, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		blockPerIter := blockNs / blockLen
+
+		out.Kernels = append(out.Kernels, vmKernelRow{
+			Kernel:            ok.name,
+			InterpNsPerIter:   round1(interpNs),
+			CompiledNsPerIter: round1(compiledNs),
+			VMNsPerIter:       round1(vmNs),
+			VMBlockNsPerIter:  round1(blockPerIter),
+			VMAllocsPerIter:   vmAllocs,
+			SpeedupVsCompiled: math.Round(compiledNs/blockPerIter*100) / 100,
+		})
+	}
+	return out, nil
+}
+
+// VMBackends is the "vm" experiment: backend cost tables (the JSON
+// baseline is written by orion-bench -vm-json).
+func VMBackends(_ Scale) (*Report, error) {
+	d, err := measureVM()
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for _, k := range d.Kernels {
+		rows = append(rows, []string{
+			k.Kernel,
+			fmt.Sprintf("%.1f", k.InterpNsPerIter),
+			fmt.Sprintf("%.1f", k.CompiledNsPerIter),
+			fmt.Sprintf("%.1f", k.VMNsPerIter),
+			fmt.Sprintf("%.1f", k.VMBlockNsPerIter),
+			fmt.Sprintf("%d", k.VMAllocsPerIter),
+			fmt.Sprintf("%.2fx", k.SpeedupVsCompiled),
+		})
+	}
+	body := "loop backend cost (per iteration):\n" +
+		metrics.Table([]string{"kernel", "interp ns", "compiled ns", "vm ns", "vm block ns", "vm allocs", "vm speedup"}, rows)
+	return &Report{ID: "vm", Title: "bytecode VM vs closure compiler vs interpreter", Body: body}, nil
+}
+
+// WriteVMBaseline measures the backends and writes the BENCH_vm.json
+// baseline.
+func WriteVMBaseline(path string) error {
+	d, err := measureVM()
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

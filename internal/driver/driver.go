@@ -33,6 +33,7 @@ import (
 	"orion/internal/dsm"
 	"orion/internal/ir"
 	"orion/internal/lang"
+	"orion/internal/lang/vm"
 	"orion/internal/obs"
 	"orion/internal/plan"
 	"orion/internal/runtime"
@@ -258,17 +259,19 @@ func (s *Session) CreateBuffer(name, target string) error {
 func (s *Session) SetGlobal(name string, v float64) { s.globals[name] = v }
 
 // SetBackend pins the loop-execution backend shipped with every
-// subsequent ParallelFor: "" (default: closure-compiled with
-// interpreter fallback), "compiled" (falling back becomes an error), or
-// "interp" (force the tree-walking interpreter — the reference
-// semantics, useful for bisecting a suspected compiler bug).
+// subsequent ParallelFor: "" (default: bytecode VM, falling back to
+// the closure compiler and then the interpreter), "vm" (register
+// bytecode VM; falling back becomes an error), "compiled"
+// (closure-compiled; skips the VM), or "interp" (force the
+// tree-walking interpreter — the reference semantics, useful for
+// bisecting a suspected compiler bug).
 func (s *Session) SetBackend(backend string) error {
 	switch backend {
-	case "", "compiled", "interp":
+	case "", "vm", "compiled", "interp":
 		s.backend = backend
 		return nil
 	}
-	return fmt.Errorf("driver: unknown backend %q (want \"\", \"compiled\", or \"interp\")", backend)
+	return fmt.Errorf("driver: unknown backend %q (want \"\", \"vm\", \"compiled\", or \"interp\")", backend)
 }
 
 // Backend returns the pinned loop-execution backend ("" = automatic).
@@ -276,8 +279,8 @@ func (s *Session) Backend() string { return s.backend }
 
 // KernelBackend reports which backend the executors will run the given
 // loop source on under the current session configuration, without
-// executing anything: "compiled" or "interp". The decision is the same
-// deterministic lang.CompileLoop verdict every worker reaches.
+// executing anything: "vm", "compiled", or "interp". The decision is
+// the same deterministic compile verdict every worker reaches.
 func (s *Session) KernelBackend(src string) (string, error) {
 	loop, err := lang.Parse(src)
 	if err != nil {
@@ -295,11 +298,25 @@ func (s *Session) kernelBackend(loop *lang.Loop) (string, error) {
 		globals = append(globals, g)
 	}
 	globals = append(globals, lang.Accumulators(loop)...)
-	_, err := lang.CompileLoop(loop, &lang.CompileEnv{
+	env := &lang.CompileEnv{
 		Arrays:  s.env.Arrays,
 		Buffers: s.env.Buffers,
 		Globals: globals,
-	})
+	}
+	if s.backend != "compiled" {
+		_, err := vm.Compile(loop, env)
+		if err == nil {
+			return "vm", nil
+		}
+		var nce *lang.NotCompilableError
+		if !errors.As(err, &nce) {
+			return "", err
+		}
+		if s.backend == "vm" {
+			return "", fmt.Errorf("driver: backend=vm requested: %w", err)
+		}
+	}
+	_, err := lang.CompileLoop(loop, env)
 	if err != nil {
 		var nce *lang.NotCompilableError
 		if !errors.As(err, &nce) {

@@ -496,7 +496,7 @@ func TestDriverBackendSelection(t *testing.T) {
 		}
 		want := backend
 		if want == "" {
-			want = "compiled"
+			want = "vm"
 		}
 		if !strings.Contains(d.Message, "the "+want+" backend") {
 			t.Fatalf("backend %q: diagnostic %q does not name the %s backend", backend, d.Message, want)
@@ -508,6 +508,8 @@ func TestDriverBackendSelection(t *testing.T) {
 	}
 	compiled := run("compiled")
 	defer compiled.Close()
+	vmSess := run("vm")
+	defer vmSess.Close()
 	auto := run("")
 	defer auto.Close()
 	interp := run("interp")
@@ -515,7 +517,7 @@ func TestDriverBackendSelection(t *testing.T) {
 
 	for _, name := range []string{"W", "H"} {
 		want := interp.Array(name)
-		for _, sess := range []*Session{compiled, auto} {
+		for _, sess := range []*Session{compiled, vmSess, auto} {
 			got := sess.Array(name)
 			want.ForEach(func(idx []int64, v float64) {
 				if g := got.At(idx...); math.Float64bits(g) != math.Float64bits(v) {
@@ -560,5 +562,12 @@ end
 	}
 	if _, err := sess.ParallelFor(src); err == nil || !strings.Contains(err.Error(), "backend=compiled") {
 		t.Fatalf("pinned compiled backend on a non-compilable loop: err = %v", err)
+	}
+
+	if err := sess.SetBackend("vm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.ParallelFor(src); err == nil || !strings.Contains(err.Error(), "backend=vm") {
+		t.Fatalf("pinned vm backend on a non-compilable loop: err = %v", err)
 	}
 }

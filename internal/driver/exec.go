@@ -257,9 +257,6 @@ func (s *Session) defineLoopAs(e *compiledLoop, name string) error {
 		ArrayDims: map[string][]int64{},
 		Buffers:   map[string]string{},
 	}
-	if e.art != nil {
-		def.PlanBlob = e.art.EncodeBinary()
-	}
 	for n2, d := range s.env.Arrays {
 		def.ArrayDims[n2] = append([]int64(nil), d...)
 	}
@@ -274,14 +271,19 @@ func (s *Session) defineLoopAs(e *compiledLoop, name string) error {
 	def.Backend = s.backend
 
 	// Surface the backend decision — identical to the one every worker's
-	// dslkernel.Compile will reach — as an Info diagnostic, and reject a
-	// pinned backend=compiled that cannot be honored before shipping.
+	// dslkernel.Compile will reach — as an Info diagnostic, record it in
+	// the plan artifact, and reject a pinned backend that cannot be
+	// honored before shipping.
 	backend, err := s.kernelBackend(e.loop)
 	if err != nil {
 		return err
 	}
 	s.lastDiags.Add(diag.Infof(diag.CodeBackend, diag.Pos{}, "",
 		"loop %s executes on the %s backend", name, backend))
+	if e.art != nil {
+		e.art.Backend = backend
+		def.PlanBlob = e.art.EncodeBinary()
+	}
 
 	if err := s.master.DefineLoop(def); err != nil {
 		return err

@@ -314,6 +314,37 @@ func TestChaosMidRotationSeveranceTCPFailsFast(t *testing.T) {
 	}
 }
 
+// TestChaosMidRotationSeveranceRecoversBitwise severs a ring link —
+// the connection that carries rotated partitions as pooled raw frames
+// — mid-flight while checkpoints exist: the in-flight pooled-buffer
+// rotation is torn down, the fleet re-forms, the partitions are
+// redistributed, and the result is still bitwise identical to the
+// fault-free run. This is the recovery counterpart of the fail-fast
+// ring-severance test, and it proves a half-received pooled frame
+// can never leak into the recovered state.
+func TestChaosMidRotationSeveranceRecoversBitwise(t *testing.T) {
+	want, _ := mfReference(t, 2, 4)
+
+	sess, chaos, _ := chaosLocalSession(t, 2, 19)
+	defer sess.Close()
+	sess.SetCheckpointDir(t.TempDir())
+	// Executor 1 ships rotated partitions to executor 0's ring endpoint;
+	// severing that link kills a rotation in flight, not a master link.
+	ring := sess.master.PeerAddrs()[0]
+	chaos.Schedule(runtime.FaultEvent{Clock: 5, Addr: ring, Conn: 0, Kind: runtime.FaultSever})
+	fillMF(t, sess)
+	if _, err := sess.ParallelFor(mfSrc, Passes(4)); err != nil {
+		t.Fatalf("mid-rotation recovery did not complete: %v", err)
+	}
+	if got := chaos.Applied(); got != 1 {
+		t.Fatalf("applied faults = %d, want 1", got)
+	}
+	if got := sess.Recoveries(); got != 1 {
+		t.Fatalf("recoveries = %d, want 1", got)
+	}
+	assertBitwiseEqual(t, want, snapshotBits(sess, "W", "H"))
+}
+
 // TestChaosDropRecoveredViaHeartbeat blackholes a worker's master link:
 // the connection stays open, so only heartbeat staleness can detect the
 // loss. With a checkpoint the loop recovers and the result is still

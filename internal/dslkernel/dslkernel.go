@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"orion/internal/lang"
+	"orion/internal/lang/vm"
 	"orion/internal/obs"
 	"orion/internal/plan"
 	"orion/internal/runtime"
@@ -23,56 +24,78 @@ func Install() {
 	runtime.SetLoopCompiler(Compile)
 }
 
-// Compile builds a kernel (and prefetch functions) from a DefineLoop
-// message. Loop bodies run on the closure-compiled backend
-// (lang.CompileLoop) whenever they fall inside its subset; otherwise
-// the tree-walking interpreter — the reference semantics — executes
-// them. def.Backend pins the choice: "compiled" makes fallback an
-// error, "interp" forces interpretation (e.g. for CLI bisection).
-func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc, error) {
+// Compile builds a kernel set (and prefetch functions) from a
+// DefineLoop message. Loop bodies run on the bytecode VM
+// (lang/vm.Compile) whenever they fall inside the compiled subset,
+// with the closure backend (lang.CompileLoop) next in the lattice;
+// otherwise the tree-walking interpreter — the reference semantics —
+// executes them. def.Backend pins the choice: "vm" and "compiled"
+// make fallback an error, "interp" forces interpretation (e.g. for
+// CLI bisection), and "" walks the full vm→compiled→interp lattice.
+func Compile(def *runtime.Msg) (*runtime.KernelSet, error) {
 	tb := obs.NewBuf(0, "dslkernel")
 	spanStart := tb.Begin()
 	defer tb.EndN("kernel.compile", "dsl", spanStart, "src_bytes", int64(len(def.LoopSrc)))
 	loop, err := lang.Parse(def.LoopSrc)
 	if err != nil {
-		return nil, nil, fmt.Errorf("dslkernel: parsing shipped loop: %w", err)
+		return nil, fmt.Errorf("dslkernel: parsing shipped loop: %w", err)
 	}
 	if len(def.GlobalNames) != len(def.GlobalVals) {
-		return nil, nil, fmt.Errorf("dslkernel: mismatched globals")
+		return nil, fmt.Errorf("dslkernel: mismatched globals")
 	}
 	globals := make(map[string]float64, len(def.GlobalNames))
 	for i, n := range def.GlobalNames {
 		globals[n] = def.GlobalVals[i]
 	}
 
+	var vp *vm.Prog
 	var cl *lang.CompiledLoop
 	switch def.Backend {
-	case "", "compiled", "interp":
+	case "", "vm", "compiled", "interp":
 	default:
-		return nil, nil, fmt.Errorf("dslkernel: unknown backend %q", def.Backend)
+		return nil, fmt.Errorf("dslkernel: unknown backend %q", def.Backend)
 	}
 	if def.Backend != "interp" {
 		globalNames := append([]string{}, def.GlobalNames...)
 		globalNames = append(globalNames, def.AccumNames...)
-		cl, err = lang.CompileLoop(loop, &lang.CompileEnv{
+		env := &lang.CompileEnv{
 			Arrays:  def.ArrayDims,
 			Buffers: def.Buffers,
 			Globals: globalNames,
-		})
-		if err != nil {
-			var nce *lang.NotCompilableError
-			if !errors.As(err, &nce) {
-				return nil, nil, fmt.Errorf("dslkernel: compiling shipped loop: %w", err)
+		}
+		if def.Backend != "compiled" {
+			vp, err = vm.Compile(loop, env)
+			if err != nil {
+				var nce *lang.NotCompilableError
+				if !errors.As(err, &nce) {
+					return nil, fmt.Errorf("dslkernel: compiling shipped loop: %w", err)
+				}
+				if def.Backend == "vm" {
+					return nil, fmt.Errorf("dslkernel: backend=vm requested: %w", err)
+				}
+				vp = nil // outside the VM subset: try the closure backend
 			}
-			if def.Backend == "compiled" {
-				return nil, nil, fmt.Errorf("dslkernel: backend=compiled requested: %w", err)
+		}
+		if vp == nil && def.Backend != "vm" {
+			cl, err = lang.CompileLoop(loop, env)
+			if err != nil {
+				var nce *lang.NotCompilableError
+				if !errors.As(err, &nce) {
+					return nil, fmt.Errorf("dslkernel: compiling shipped loop: %w", err)
+				}
+				if def.Backend == "compiled" {
+					return nil, fmt.Errorf("dslkernel: backend=compiled requested: %w", err)
+				}
+				cl = nil // outside the compiled subset: interpret
 			}
-			cl = nil // outside the compiled subset: interpret
 		}
 	}
-	if cl != nil {
+	switch {
+	case vp != nil:
+		obs.GetCounter("kernel.vm").Inc()
+	case cl != nil:
 		obs.GetCounter("kernel.compiled").Inc()
-	} else {
+	default:
 		obs.GetCounter("kernel.interp_fallback").Inc()
 	}
 
@@ -95,10 +118,21 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 	}
 	var ms *machineState
 	var cs *compiledState
+	var vs *vmState
 	lastEpoch := int64(-1)
 	kernel := func(ctx *runtime.Ctx, key []int64, val float64) {
 		reseed := ctx.BlockEpoch() != lastEpoch
 		lastEpoch = ctx.BlockEpoch()
+		if vp != nil {
+			if vs == nil {
+				vs = newVMState(ctx, vp, loop, def.ArrayDims, def.Buffers, globals, def.AccumNames)
+			}
+			if reseed {
+				vs.k.SetRng(seedRng(ctx))
+			}
+			vs.run(ctx, key, val)
+			return
+		}
 		if cl != nil {
 			if cs == nil {
 				cs = newCompiledState(ctx, cl, loop, def.ArrayDims, def.Buffers, globals, def.AccumNames)
@@ -117,6 +151,25 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 		}
 		ms.run(ctx, key, val)
 	}
+	// The VM additionally exposes the batched block form: one
+	// dispatch-loop entry and one panic recovery per block instead of
+	// per iteration. Accumulator deltas still fold per iteration (via
+	// the per-iteration callback), so the block path is bitwise
+	// identical to the one-at-a-time path.
+	var block runtime.BlockKernel
+	if vp != nil {
+		block = func(ctx *runtime.Ctx, keys [][]int64, vals []float64) (int, error) {
+			reseed := ctx.BlockEpoch() != lastEpoch
+			lastEpoch = ctx.BlockEpoch()
+			if vs == nil {
+				vs = newVMState(ctx, vp, loop, def.ArrayDims, def.Buffers, globals, def.AccumNames)
+			}
+			if reseed {
+				vs.k.SetRng(seedRng(ctx))
+			}
+			return vs.runBlock(ctx, keys, vals)
+		}
+	}
 
 	// The plan artifact shipped alongside the source carries the
 	// synthesized prefetch spec (and the full parallelization decision,
@@ -125,7 +178,7 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 	if len(def.PlanBlob) > 0 {
 		art, err := plan.Decode(def.PlanBlob)
 		if err != nil {
-			return nil, nil, fmt.Errorf("dslkernel: decoding shipped plan artifact: %w", err)
+			return nil, fmt.Errorf("dslkernel: decoding shipped plan artifact: %w", err)
 		}
 		pf = art.Prefetch
 	}
@@ -133,7 +186,7 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 	if pf != nil && pf.Src != "" && len(pf.Arrays) > 0 {
 		sliced, err := lang.Parse(pf.Src)
 		if err != nil {
-			return nil, nil, fmt.Errorf("dslkernel: parsing shipped prefetch slice: %w", err)
+			return nil, fmt.Errorf("dslkernel: parsing shipped prefetch slice: %w", err)
 		}
 		for _, target := range pf.Arrays {
 			target := target
@@ -153,7 +206,85 @@ func Compile(def *runtime.Msg) (runtime.Kernel, map[string]runtime.PrefetchFunc,
 			}
 		}
 	}
-	return kernel, prefetch, nil
+	return &runtime.KernelSet{Iter: kernel, Block: block, Prefetch: prefetch}, nil
+}
+
+// vmState is one executor's bytecode-VM kernel instance for one loop:
+// the register-file machine with partition/served views bound into its
+// array slots, plus accumulator shadows for diffing.
+type vmState struct {
+	k       *vm.Kernel
+	accums  []string
+	slots   []int
+	lastAcc []float64
+}
+
+func newVMState(ctx *runtime.Ctx, vp *vm.Prog, loop *lang.Loop,
+	dims map[string][]int64, buffers map[string]string,
+	globals map[string]float64, accums []string) *vmState {
+	k := vp.NewKernel()
+	for name, d := range dims {
+		if name == loop.IterVar {
+			// Like the interpreter path, the iteration space stays
+			// unbound: body reads of it fault as unknown.
+			continue
+		}
+		var view lang.ArrayAccess
+		if ctx.HasPartition(name) {
+			view = &partView{ctx: ctx, name: name, dims: d}
+		} else {
+			view = &servedView{ctx: ctx, name: name, dims: d}
+		}
+		if err := k.BindArray(name, view); err != nil {
+			panic(fmt.Sprintf("dslkernel: %v", err))
+		}
+	}
+	for bname, target := range buffers {
+		if err := k.BindBuffer(bname, &ctxBuffer{ctx: ctx, target: target, dims: dims[target]}); err != nil {
+			panic(fmt.Sprintf("dslkernel: %v", err))
+		}
+	}
+	for n, v := range globals {
+		k.SetGlobal(n, v)
+	}
+	vs := &vmState{k: k, accums: accums}
+	for _, a := range accums {
+		if _, ok := globals[a]; !ok {
+			k.SetGlobal(a, 0)
+		}
+		slot := k.GlobalSlot(a)
+		vs.slots = append(vs.slots, slot)
+		vs.lastAcc = append(vs.lastAcc, k.GlobalAt(slot))
+	}
+	return vs
+}
+
+func (vs *vmState) run(ctx *runtime.Ctx, key []int64, val float64) {
+	if err := vs.k.RunIteration(key, val); err != nil {
+		panic(fmt.Sprintf("dslkernel: vm kernel: %v", err))
+	}
+	vs.fold(ctx)
+}
+
+// runBlock executes a whole block in one VM entry. The per-iteration
+// callback folds accumulator deltas exactly as the one-at-a-time path
+// does, so both paths produce bit-identical accumulator streams.
+func (vs *vmState) runBlock(ctx *runtime.Ctx, keys [][]int64, vals []float64) (int, error) {
+	done, err := vs.k.RunBlock(keys, vals, func(int) { vs.fold(ctx) })
+	if err != nil {
+		return done, fmt.Errorf("dslkernel: vm kernel: %v", err)
+	}
+	return done, nil
+}
+
+func (vs *vmState) fold(ctx *runtime.Ctx) {
+	for i, a := range vs.accums {
+		cur := vs.k.GlobalAt(vs.slots[i])
+		if d := cur - vs.lastAcc[i]; d != 0 {
+			ctx.AccumAdd(a, d)
+			vs.lastAcc[i] = cur
+		}
+	}
 }
 
 // compiledState is one executor's compiled-kernel instance for one

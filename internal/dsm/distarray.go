@@ -36,6 +36,23 @@ func NewDense(name string, dims ...int64) *DistArray {
 	return a
 }
 
+// NewDenseFrom creates a dense DistArray adopting data as its backing
+// storage (no copy); len(data) must equal the extent product. The
+// transport uses it to build rotated partitions directly over pooled
+// buffers.
+func NewDenseFrom(name string, data []float64, dims ...int64) *DistArray {
+	a := newArray(name, dims)
+	total := int64(1)
+	for _, d := range dims {
+		total *= d
+	}
+	if int64(len(data)) != total {
+		panic(fmt.Sprintf("dsm: %s: %d elements for extent product %d", name, len(data), total))
+	}
+	a.dense = data
+	return a
+}
+
 // NewSparse creates a sparse DistArray of the given extents.
 func NewSparse(name string, dims ...int64) *DistArray {
 	a := newArray(name, dims)
@@ -170,6 +187,17 @@ func (a *DistArray) Vec(rest ...int64) []float64 {
 		off += v * a.stride[i+1]
 	}
 	return a.dense[off : off+a.dims[0]]
+}
+
+// DenseData exposes the flat storage and strides of a dense array for
+// fused offset arithmetic (lang.DenseAccess); sparse arrays return
+// (nil, nil). Both slices are live: writes through data are visible,
+// and neither may be resized.
+func (a *DistArray) DenseData() (data []float64, stride []int64) {
+	if !a.IsDense() {
+		return nil, nil
+	}
+	return a.dense, a.stride
 }
 
 // ForEach visits every stored element. Dense arrays visit all elements;

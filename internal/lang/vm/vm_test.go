@@ -1,0 +1,357 @@
+package vm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"orion/internal/dsm"
+	"orion/internal/lang"
+)
+
+const mfSrc = `
+for (key, rv) in ratings
+    W_row = W[:, key[1]]
+    H_row = H[:, key[2]]
+    pred = dot(W_row, H_row)
+    diff = rv - pred
+    W_grad = -2 * diff * H_row
+    H_grad = -2 * diff * W_row
+    W[:, key[1]] = W_row - step_size * W_grad
+    H[:, key[2]] = H_row - step_size * H_grad
+end
+`
+
+func compileMF(t testing.TB) *Prog {
+	t.Helper()
+	loop, err := lang.Parse(mfSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(loop, &lang.CompileEnv{
+		Arrays: map[string][]int64{
+			"ratings": {100, 100}, "W": {16, 100}, "H": {16, 100},
+		},
+		Globals: []string{"step_size"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func bindMF(t testing.TB, p *Prog) (*Kernel, *dsm.DistArray, *dsm.DistArray) {
+	t.Helper()
+	k := p.NewKernel()
+	w := dsm.NewDense("W", 16, 100)
+	h := dsm.NewDense("H", 16, 100)
+	w.FillRandn(rand.New(rand.NewSource(1)), 0.1)
+	h.FillRandn(rand.New(rand.NewSource(2)), 0.1)
+	for name, a := range map[string]*dsm.DistArray{
+		"ratings": dsm.NewSparse("ratings", 100, 100), "W": w, "H": h,
+	} {
+		if err := k.BindArray(name, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !k.SetGlobal("step_size", 0.01) {
+		t.Fatal("step_size not a global")
+	}
+	return k, w, h
+}
+
+// TestVMZeroAllocs: the acceptance criterion — a steady-state VM MF SGD
+// iteration performs zero allocations, both per-iteration and batched.
+func TestVMZeroAllocs(t *testing.T) {
+	p := compileMF(t)
+	k, _, _ := bindMF(t, p)
+	key := []int64{3, 7}
+	for i := 0; i < 4; i++ {
+		if err := k.RunIteration(key, 1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := k.RunIteration(key, 1.5); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("vm MF iteration allocates %v times, want 0", allocs)
+	}
+
+	keys := [][]int64{{3, 7}, {4, 9}, {1, 2}, {3, 7}}
+	vals := []float64{1.5, 2, 0.5, 1.5}
+	allocs = testing.AllocsPerRun(200, func() {
+		if n, err := k.RunBlock(keys, vals, nil); err != nil || n != len(keys) {
+			t.Fatalf("RunBlock: n=%d err=%v", n, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("vm MF block allocates %v times, want 0", allocs)
+	}
+}
+
+// TestVMSpeedupOverClosure: the VM's fused dense paths must beat the
+// closure backend on the MF body. The committed BENCH_vm.json gate
+// asserts >= 2x; here we assert a conservative 1.3x so CI noise cannot
+// flake a unit test that runs on every push.
+func TestVMSpeedupOverClosure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped in -short mode")
+	}
+	loop, err := lang.Parse(mfSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cenv := &lang.CompileEnv{
+		Arrays: map[string][]int64{
+			"ratings": {100, 100}, "W": {16, 100}, "H": {16, 100},
+		},
+		Globals: []string{"step_size"},
+	}
+	cl, err := lang.CompileLoop(loop, cenv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := cl.NewKernel()
+	p := compileMF(t)
+	vk, _, _ := bindMF(t, p)
+	for name, dims := range cenv.Arrays {
+		var a *dsm.DistArray
+		if name == "ratings" {
+			a = dsm.NewSparse(name, dims...)
+		} else {
+			a = dsm.NewDense(name, dims...)
+		}
+		if err := ck.BindArray(name, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck.SetGlobal("step_size", 0.01)
+	key := []int64{3, 7}
+
+	vmRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := vk.RunIteration(key, 1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	clRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ck.RunIteration(key, 1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	vn, cn := vmRes.NsPerOp(), clRes.NsPerOp()
+	if vn <= 0 || cn <= 0 {
+		t.Skipf("timer resolution too coarse: vm %d ns, closure %d ns", vn, cn)
+	}
+	if float64(cn) < 1.3*float64(vn) {
+		t.Fatalf("vm backend is not >=1.3x faster: closure %d ns/iter, vm %d ns/iter", cn, vn)
+	}
+	t.Logf("closure %d ns/iter, vm %d ns/iter (%.1fx)", cn, vn, float64(cn)/float64(vn))
+}
+
+// TestRunBlockStopsAtFault: a mid-block fault reports the number of
+// fully completed iterations and leaves their effects in place.
+func TestRunBlockStopsAtFault(t *testing.T) {
+	loop, err := lang.Parse("for (key, v) in data\n    A[key[1], 1] = v\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(loop, &lang.CompileEnv{
+		Arrays: map[string][]int64{"data": {4, 4}, "A": {4, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.NewKernel()
+	a := dsm.NewDense("A", 4, 4)
+	if err := k.BindArray("A", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.BindArray("data", dsm.NewDense("data", 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// Third key is out of bounds: iteration 2 panics after 0 and 1 land.
+	keys := [][]int64{{0, 0}, {1, 0}, {9, 0}, {2, 0}}
+	vals := []float64{10, 20, 30, 40}
+	// The panic unwinds through RunBlock, so progress is observed via
+	// the onIter callback rather than the (lost) return value.
+	var done int
+	var panicked bool
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked = true
+			}
+		}()
+		_, _ = k.RunBlock(keys, vals, func(i int) { done = i + 1 })
+	}()
+	if !panicked {
+		t.Fatal("expected the out-of-bounds write to panic")
+	}
+	if done != 2 {
+		t.Fatalf("done = %d, want 2", done)
+	}
+	if a.At(0, 0) != 10 || a.At(1, 0) != 20 {
+		t.Fatalf("completed iterations not applied: %v %v", a.At(0, 0), a.At(1, 0))
+	}
+}
+
+// TestRunBlockOnIter: the per-iteration callback observes accumulator
+// state after each iteration, in order.
+func TestRunBlockOnIter(t *testing.T) {
+	loop, err := lang.Parse("for (key, v) in data\n    acc += v\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(loop, &lang.CompileEnv{
+		Arrays:  map[string][]int64{"data": {4}},
+		Globals: []string{"acc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.NewKernel()
+	if err := k.BindArray("data", dsm.NewDense("data", 4)); err != nil {
+		t.Fatal(err)
+	}
+	k.SetGlobal("acc", 0)
+	slot := k.GlobalSlot("acc")
+	keys := [][]int64{{0}, {1}, {2}}
+	vals := []float64{1, 2, 4}
+	var seen []float64
+	done, err := k.RunBlock(keys, vals, func(i int) {
+		seen = append(seen, k.GlobalAt(slot))
+	})
+	if err != nil || done != 3 {
+		t.Fatalf("done=%d err=%v", done, err)
+	}
+	want := []float64{1, 3, 7}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("after iteration %d acc=%v, want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+// TestVMRowViewIsZeroCopy: a consume borrow of a dense full-first-dim
+// range must be a live view of the array's storage, not a copy.
+func TestVMRowViewIsZeroCopy(t *testing.T) {
+	src := "for (key, v) in data\n    s = dot(W[:, 1], W[:, 1])\n    acc += s\nend\n"
+	loop, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(loop, &lang.CompileEnv{
+		Arrays:  map[string][]int64{"data": {2}, "W": {8, 4}},
+		Globals: []string{"acc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lowered site must use the row-view opcode, not materialize.
+	views := 0
+	for _, in := range p.code {
+		if in.op == opRowViewV {
+			views++
+		}
+	}
+	if views != 2 {
+		t.Fatalf("expected 2 opRowViewV sites, found %d", views)
+	}
+	k := p.NewKernel()
+	w := dsm.NewDense("W", 8, 4)
+	w.FillRandn(rand.New(rand.NewSource(3)), 1)
+	if err := k.BindArray("W", w); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.BindArray("data", dsm.NewDense("data", 2)); err != nil {
+		t.Fatal(err)
+	}
+	k.SetGlobal("acc", 0)
+	if err := k.RunIteration([]int64{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	// DSL subscripts are 1-based: W[:, 1] is the 0-based column 0.
+	var want float64
+	col := w.Vec(0)
+	for _, e := range col {
+		want += e * e
+	}
+	got, _ := k.Global("acc")
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("acc = %v, want %v", got, want)
+	}
+}
+
+// TestVMSparseFallback: arrays without dense backing run through the
+// interface paths and still match the interpreter (covered broadly by
+// the differential tests; this pins the explicit sparse binding).
+func TestVMSparseFallback(t *testing.T) {
+	src := "for (key, v) in data\n    S[key[1], 1] += 2\n    x = S[key[1], 1]\n    acc += x\nend\n"
+	loop, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(loop, &lang.CompileEnv{
+		Arrays:  map[string][]int64{"data": {3}, "S": {3, 3}},
+		Globals: []string{"acc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.NewKernel()
+	s := dsm.NewSparse("S", 3, 3)
+	if err := k.BindArray("S", s); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.BindArray("data", dsm.NewDense("data", 3)); err != nil {
+		t.Fatal(err)
+	}
+	k.SetGlobal("acc", 0)
+	for i := int64(0); i < 3; i++ {
+		if err := k.RunIteration([]int64{i}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := k.Global("acc"); got != 6 {
+		t.Fatalf("acc = %v, want 6", got)
+	}
+	if s.At(2, 0) != 2 {
+		t.Fatalf("S[2,0] = %v, want 2", s.At(2, 0))
+	}
+}
+
+// TestVMRunLoop: RunLoop walks the bound iteration space like the
+// closure backend, stopping early on error when supported.
+func TestVMRunLoop(t *testing.T) {
+	loop, err := lang.Parse("for (key, v) in data\n    acc += v\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(loop, &lang.CompileEnv{
+		Arrays:  map[string][]int64{"data": {4}},
+		Globals: []string{"acc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := p.NewKernel()
+	d := dsm.NewDense("data", 4)
+	d.MapIndex(func(idx []int64, _ float64) float64 { return float64(idx[0] + 1) })
+	if err := k.BindArray("data", d); err != nil {
+		t.Fatal(err)
+	}
+	k.SetGlobal("acc", 0)
+	if err := k.RunLoop(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := k.Global("acc"); got != 10 {
+		t.Fatalf("acc = %v, want 10", got)
+	}
+}

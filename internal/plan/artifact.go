@@ -39,7 +39,7 @@ import (
 // Version is the artifact schema version. Decoders reject any other
 // value with ErrVersionSkew; bump it whenever the serialized shape
 // changes incompatibly.
-const Version = 2
+const Version = 3
 
 // ErrVersionSkew marks an artifact whose schema version does not match
 // this build's Version.
@@ -266,6 +266,10 @@ type Artifact struct {
 	// the partitions were balanced on; consumers revalidate against
 	// current data and re-balance on drift.
 	WeightsDigest string `json:"weights_digest,omitempty"`
+	// Backend records which loop-execution backend the driver predicted
+	// for this loop ("vm", "compiled", or "interp") — the same verdict
+	// every worker's dslkernel.Compile reaches deterministically.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Kind returns the artifact's strategy as a sched.Kind.

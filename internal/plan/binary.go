@@ -254,6 +254,7 @@ func (a *Artifact) EncodeBinary() []byte {
 
 	e.str(a.LoopSrc)
 	e.str(a.WeightsDigest)
+	e.str(a.Backend)
 	return e.buf
 }
 
@@ -363,6 +364,7 @@ func DecodeBinary(b []byte) (*Artifact, error) {
 
 	a.LoopSrc = d.str()
 	a.WeightsDigest = d.str()
+	a.Backend = d.str()
 
 	if d.err != nil {
 		return nil, d.err

@@ -10,6 +10,7 @@ import (
 
 	"orion/internal/dsm"
 	"orion/internal/obs"
+	"orion/internal/runtime/bufpool"
 )
 
 // Executor is one Orion worker process: it holds DistArray partitions,
@@ -25,13 +26,23 @@ type Executor struct {
 
 	parts   map[string]*dsm.Partition
 	rotated map[string]bool
-	samples []IterSample
+	// pooledParts marks partitions whose dense backing storage came
+	// from bufpool (installed by a raw rotation frame); it is returned
+	// to the pool when the next rotation replaces them.
+	pooledParts map[string]bool
+	samples     []IterSample
 	// localKernels holds kernels compiled from DefineLoop messages,
-	// checked before the static registry.
+	// checked before the static registry. localBlocks holds their
+	// batched forms when the backend provides one (the bytecode VM).
 	localKernels  map[string]Kernel
+	localBlocks   map[string]BlockKernel
 	localPrefetch map[string]map[string]PrefetchFunc
 	sendTo        *codec // ring neighbor we ship rotated partitions to
 	rotateCh      chan *Msg
+	// blockKeys/blockVals are the reused scratch for batched kernel
+	// execution (one append pass per block, no per-iteration garbage).
+	blockKeys [][]int64
+	blockVals []float64
 
 	// The master connection is read by a dedicated reader goroutine
 	// (readMaster): commands flow to cmdCh, prefetch responses to
@@ -68,6 +79,9 @@ type Executor struct {
 	mBlocks   *obs.Counter
 	mIters    *obs.Counter
 	mRotWait  *obs.Histogram
+	mRotBytes *obs.Counter
+	mRotRaw   *obs.Counter
+	mRotGob   *obs.Counter
 	mPrefHit  *obs.Counter
 	mPrefMiss *obs.Counter
 
@@ -86,7 +100,9 @@ func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, e
 		peerAddr:      peerAddr,
 		parts:         map[string]*dsm.Partition{},
 		rotated:       map[string]bool{},
+		pooledParts:   map[string]bool{},
 		localKernels:  map[string]Kernel{},
+		localBlocks:   map[string]BlockKernel{},
 		localPrefetch: map[string]map[string]PrefetchFunc{},
 		rotateCh:      make(chan *Msg, 16),
 		cmdCh:         make(chan *Msg, 16),
@@ -98,6 +114,9 @@ func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, e
 		mBlocks:       obs.GetCounter("kernel.blocks"),
 		mIters:        obs.GetCounter("kernel.iterations"),
 		mRotWait:      obs.GetHistogram("rotation.wait.ns"),
+		mRotBytes:     obs.GetCounter("rotation.bytes.sent"),
+		mRotRaw:       obs.GetCounter("rotation.frames.raw"),
+		mRotGob:       obs.GetCounter("rotation.frames.gob"),
 		mPrefHit:      obs.GetCounter("prefetch.hit"),
 		mPrefMiss:     obs.GetCounter("prefetch.miss"),
 	}
@@ -260,6 +279,7 @@ func (e *Executor) run() error {
 			}
 			e.parts[msg.Array] = p
 			e.rotated[msg.Array] = msg.Rotated
+			e.pooledParts[msg.Array] = false
 		case MsgIterPart:
 			e.samples = msg.Samples
 		case MsgServedShard:
@@ -277,13 +297,18 @@ func (e *Executor) run() error {
 				e.master.send(&Msg{Kind: MsgError, Err: "no loop compiler installed on this executor"})
 				return fmt.Errorf("runtime: executor %d: no loop compiler", e.id)
 			}
-			k, pf, err := c(msg)
+			ks, err := c(msg)
 			if err != nil {
 				e.master.send(&Msg{Kind: MsgError, Err: err.Error()})
 				return err
 			}
-			e.localKernels[msg.LoopName] = k
-			e.localPrefetch[msg.LoopName] = pf
+			e.localKernels[msg.LoopName] = ks.Iter
+			if ks.Block != nil {
+				e.localBlocks[msg.LoopName] = ks.Block
+			} else {
+				delete(e.localBlocks, msg.LoopName)
+			}
+			e.localPrefetch[msg.LoopName] = ks.Prefetch
 		case MsgExecBlock:
 			if err := e.execBlock(msg, n); err != nil {
 				e.master.send(&Msg{Kind: MsgError, Err: err.Error(), Lost: isLost(err)})
@@ -373,14 +398,26 @@ func (e *Executor) servePeer(c *codec) {
 		case MsgRotate:
 			feedsRotation = true
 			// The rotation pipeline retains the message beyond this
-			// loop iteration — hand it a detached copy and drop the
-			// blob from the reused receive Msg.
+			// loop iteration — hand it a detached copy. For raw frames
+			// the pooled payload's ownership transfers with it (the
+			// main loop returns the storage to bufpool on fold); either
+			// way the transferred fields are dropped from the reused
+			// receive Msg.
+			var fwd *Msg
+			if in.Raw {
+				fwd = &Msg{Kind: MsgRotate, Raw: true, Array: in.Array,
+					PartDim: in.PartDim, PartLo: in.PartLo, PartHi: in.PartHi,
+					PartDims: append([]int64(nil), in.PartDims...), Values: in.Values}
+				in.Values = nil
+			} else {
+				fwd = &Msg{Kind: MsgRotate, Array: in.Array, PartBlob: in.PartBlob}
+				in.PartBlob = nil
+			}
 			select {
-			case e.rotateCh <- &Msg{Kind: MsgRotate, Array: in.Array, PartBlob: in.PartBlob}:
+			case e.rotateCh <- fwd:
 			case <-e.stop:
 				return
 			}
-			in.PartBlob = nil
 		case MsgPrefetch:
 			vals, err := e.shards.serveRead(in.Array, in.Offsets, in.Epoch)
 			if err != nil {
@@ -491,8 +528,14 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 	}
 
 	kernelStart := time.Now()
-	if err := e.runKernel(kernel, block); err != nil {
-		return err
+	var kerr error
+	if bk := e.localBlocks[msg.LoopName]; bk != nil {
+		kerr = e.runBlock(bk, block)
+	} else {
+		kerr = e.runKernel(kernel, block)
+	}
+	if kerr != nil {
+		return kerr
 	}
 	computeNs := int64(time.Since(kernelStart))
 	e.trace.EndN("exec.kernel", "exec", kernelStart, "iters", int64(len(block)))
@@ -544,12 +587,16 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 		sort.Strings(names)
 		sendStart := time.Now()
 		for _, a := range names {
-			blob, err := e.parts[a].Encode()
+			p := e.parts[a]
+			wire, err := e.sendTo.sendRotation(a, p)
 			if err != nil {
-				return err
-			}
-			if err := e.sendTo.send(&Msg{Kind: MsgRotate, Array: a, PartBlob: blob}); err != nil {
 				return fmt.Errorf("runtime: executor %d: rotation send failed (%v): %w", e.id, err, ErrWorkerLost)
+			}
+			e.mRotBytes.Add(wire)
+			if p.Local.IsDense() {
+				e.mRotRaw.Inc()
+			} else {
+				e.mRotGob.Inc()
 			}
 		}
 		commNs += int64(time.Since(sendStart))
@@ -564,11 +611,20 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 			case <-e.stop:
 				return e.lostErr()
 			}
-			p, err := dsm.DecodePartition(in.PartBlob)
+			p, err := partitionFromMsg(in)
 			if err != nil {
 				return err
 			}
+			// Fold: the replaced partition's pooled dense storage (its
+			// contents were already shipped to the ring neighbor) goes
+			// back to the pool.
+			if old := e.parts[in.Array]; old != nil && e.pooledParts[in.Array] {
+				if data, _ := old.Local.DenseData(); data != nil {
+					bufpool.PutF64(data)
+				}
+			}
 			e.parts[in.Array] = p
+			e.pooledParts[in.Array] = in.Raw
 		}
 		if len(names) > 0 {
 			rotWaitNs = int64(time.Since(waitStart))
@@ -591,6 +647,34 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 		StatRotWaitNs: rotWaitNs,
 		StatCommNs:    commNs,
 	})
+}
+
+// partitionFromMsg materializes a rotated partition from a rotation
+// message: raw frames adopt their pooled dense payload directly (zero
+// copy), gob messages decode the legacy blob.
+func partitionFromMsg(in *Msg) (*dsm.Partition, error) {
+	if !in.Raw {
+		return dsm.DecodePartition(in.PartBlob)
+	}
+	dims := append([]int64(nil), in.PartDims...)
+	local := dsm.NewDenseFrom(in.Array, in.Values, dims...)
+	return &dsm.Partition{Array: in.Array, Dim: in.PartDim, Lo: in.PartLo, Hi: in.PartHi, Local: local}, nil
+}
+
+// runBlock executes a batched kernel over the whole block in one call.
+// The backend converts faults to errors itself (with how many
+// iterations completed), so no per-iteration recovery is needed here.
+func (e *Executor) runBlock(bk BlockKernel, block []IterSample) error {
+	e.blockKeys = e.blockKeys[:0]
+	e.blockVals = e.blockVals[:0]
+	for _, s := range block {
+		e.blockKeys = append(e.blockKeys, s.Key)
+		e.blockVals = append(e.blockVals, s.Val)
+	}
+	if _, err := bk(e.ctx, e.blockKeys, e.blockVals); err != nil {
+		return fmt.Errorf("runtime: executor %d: kernel panicked: %v", e.id, err)
+	}
+	return nil
 }
 
 // runKernel executes the kernel over a block, converting panics (e.g. a

@@ -16,6 +16,22 @@ type Kernel func(ctx *Ctx, key []int64, val float64)
 // them directly.
 type PrefetchFunc func(key []int64, val float64) []int64
 
+// BlockKernel is the optional batched form of a kernel: one call
+// executes a whole block of iterations (amortizing dispatch and panic
+// recovery across the block) and reports how many completed before an
+// error, if any. Backends that execute iterations one at a time leave
+// it nil.
+type BlockKernel func(ctx *Ctx, keys [][]int64, vals []float64) (int, error)
+
+// KernelSet is everything a loop compiler produces for one DefineLoop:
+// the per-iteration kernel, its optional batched form, and the
+// synthesized per-array prefetch functions.
+type KernelSet struct {
+	Iter     Kernel
+	Block    BlockKernel
+	Prefetch map[string]PrefetchFunc
+}
+
 var (
 	kernelMu  sync.RWMutex
 	kernels   = map[string]Kernel{}
@@ -24,10 +40,10 @@ var (
 )
 
 // LoopCompiler turns a shipped DefineLoop message into an executable
-// kernel plus per-array prefetch functions. The DSL front-end installs
-// one via SetLoopCompiler (see internal/dslkernel); without it,
-// executors can only run statically registered Go kernels.
-type LoopCompiler func(def *Msg) (Kernel, map[string]PrefetchFunc, error)
+// kernel set. The DSL front-end installs one via SetLoopCompiler (see
+// internal/dslkernel); without it, executors can only run statically
+// registered Go kernels.
+type LoopCompiler func(def *Msg) (*KernelSet, error)
 
 // SetLoopCompiler installs the process's loop compiler.
 func SetLoopCompiler(c LoopCompiler) {

@@ -1,11 +1,18 @@
 package runtime
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
 	"net"
 	"sync"
 
+	"orion/internal/dsm"
 	"orion/internal/obs"
+	"orion/internal/runtime/bufpool"
 )
 
 // MsgKind enumerates protocol messages.
@@ -80,11 +87,22 @@ type Msg struct {
 
 	// Array payloads: a gob-encoded dsm.Partition (partition blob) or
 	// raw samples.
-	Array     string
-	PartBlob  []byte
-	Samples   []IterSample
-	Rotated   bool
-	Ordered   bool
+	Array    string
+	PartBlob []byte
+	Samples  []IterSample
+	Rotated  bool
+	Ordered  bool
+	// Raw marks a rotation decoded from a length-prefixed raw frame
+	// (dense partitions only): the partition range arrives in
+	// PartDim/PartLo/PartHi/PartDims and the dense payload in Values,
+	// whose backing storage comes from bufpool — whoever installs the
+	// partition owns returning it. PartDims is pooled across messages
+	// like Offsets/Values.
+	Raw       bool
+	PartDim   int
+	PartLo    int64
+	PartHi    int64
+	PartDims  []int64
 	LoopName  string
 	TimeLo    int64
 	TimeHi    int64
@@ -142,14 +160,15 @@ type Msg struct {
 }
 
 // reset clears a Msg for reuse while keeping the backing storage of the
-// hot-path payload slices (Offsets/Values), so a long-lived serving
-// loop can decode into the same Msg without reallocating per message.
-// Explicit zeroing matters: gob leaves fields absent from the wire
-// unchanged on decode.
+// hot-path payload slices (Offsets/Values/PartDims), so a long-lived
+// serving loop can decode into the same Msg without reallocating per
+// message. Explicit zeroing matters: gob leaves fields absent from the
+// wire unchanged on decode.
 func (m *Msg) reset() {
 	offsets := m.Offsets[:0]
 	values := m.Values[:0]
-	*m = Msg{Offsets: offsets, Values: values}
+	dims := m.PartDims[:0]
+	*m = Msg{Offsets: offsets, Values: values, PartDims: dims}
 }
 
 // IterSample is one iteration-space element shipped to an executor.
@@ -158,19 +177,38 @@ type IterSample struct {
 	Val float64
 }
 
-// codec wraps a connection with gob encode/decode and a write lock so
-// multiple goroutines may send on the same connection. stats, when
-// set, counts messages per peer (atomic increments — allocation-free).
+// Frame tags: every message on a codec stream is one tag byte followed
+// by its body. 'G' frames carry a gob-encoded Msg; 'R' frames carry a
+// length-prefixed raw rotation payload (dense partition storage written
+// directly, no intermediate blob).
+const (
+	tagGob = 'G'
+	tagRaw = 'R'
+)
+
+// codec wraps a connection with tag-framed gob encode/decode and a
+// write lock so multiple goroutines may send on the same connection.
+// stats, when set, counts messages per peer (atomic increments —
+// allocation-free).
 type codec struct {
 	conn  net.Conn
+	br    *bufio.Reader
+	bw    *bufio.Writer
 	enc   *gob.Encoder
 	dec   *gob.Decoder
 	wmu   sync.Mutex
 	stats *obs.PeerStats
+	// scratch stages raw-frame headers and payload chunks (reused per
+	// codec); names interns array names decoded from raw frames so the
+	// steady-state rotation path allocates no strings.
+	scratch []byte
+	names   map[string]string
 }
 
 func newCodec(conn net.Conn) *codec {
-	return &codec{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	return &codec{conn: conn, br: br, bw: bw, enc: gob.NewEncoder(bw), dec: gob.NewDecoder(br)}
 }
 
 // newPeerCodec builds a codec whose traffic is counted under the given
@@ -186,7 +224,13 @@ func newPeerCodec(conn net.Conn, label string) *codec {
 func (c *codec) send(m *Msg) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if err := c.bw.WriteByte(tagGob); err != nil {
+		return err
+	}
 	if err := c.enc.Encode(m); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
 		return err
 	}
 	if c.stats != nil {
@@ -197,7 +241,7 @@ func (c *codec) send(m *Msg) error {
 
 func (c *codec) recv() (*Msg, error) {
 	var m Msg
-	if err := c.dec.Decode(&m); err != nil {
+	if err := c.decodeFrame(&m); err != nil {
 		return nil, err
 	}
 	if c.stats != nil {
@@ -209,16 +253,197 @@ func (c *codec) recv() (*Msg, error) {
 // recvInto decodes the next message into a caller-owned Msg, reusing
 // its payload slice storage. The caller must not retain pointers into
 // the Msg across calls (copy anything it keeps — see servePeer's
-// rotation handling).
+// rotation handling). Raw rotation frames are the exception by design:
+// their Values payload arrives in fresh pooled storage whose ownership
+// the caller takes over (and later returns via bufpool.PutF64).
 func (c *codec) recvInto(m *Msg) error {
 	m.reset()
-	if err := c.dec.Decode(m); err != nil {
+	if err := c.decodeFrame(m); err != nil {
 		return err
 	}
 	if c.stats != nil {
 		c.stats.MsgsRecv.Inc()
 	}
 	return nil
+}
+
+// decodeFrame reads one tag-framed message into m.
+func (c *codec) decodeFrame(m *Msg) error {
+	tag, err := c.br.ReadByte()
+	if err != nil {
+		return err
+	}
+	switch tag {
+	case tagGob:
+		return c.dec.Decode(m)
+	case tagRaw:
+		return c.readRawRotation(m)
+	default:
+		return fmt.Errorf("runtime: unknown frame tag %#x", tag)
+	}
+}
+
+// rawChunkElems is how many float64s a raw frame stages through the
+// codec scratch per conversion pass on both send and receive.
+const rawChunkElems = 512
+
+// sendRotation ships one rotated partition to the peer. Dense
+// partitions go as a length-prefixed raw frame gathered directly from
+// the partition's backing storage — no intermediate gob blob, no
+// per-message allocation. Sparse partitions fall back to the gob
+// message path. Returns the frame's wire size in bytes.
+func (c *codec) sendRotation(array string, p *dsm.Partition) (int64, error) {
+	data, _ := p.Local.DenseData()
+	if data == nil {
+		blob, err := p.Encode()
+		if err != nil {
+			return 0, err
+		}
+		if err := c.send(&Msg{Kind: MsgRotate, Array: array, PartBlob: blob}); err != nil {
+			return 0, err
+		}
+		return int64(len(blob)), nil
+	}
+	dims := p.Local.Dims()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	h := append(c.scratch[:0], tagRaw)
+	h = binary.AppendUvarint(h, uint64(len(array)))
+	h = append(h, array...)
+	h = binary.AppendUvarint(h, uint64(p.Dim))
+	h = binary.AppendUvarint(h, uint64(p.Lo))
+	h = binary.AppendUvarint(h, uint64(p.Hi))
+	h = binary.AppendUvarint(h, uint64(len(dims)))
+	for _, d := range dims {
+		h = binary.AppendUvarint(h, uint64(d))
+	}
+	h = binary.AppendUvarint(h, uint64(len(data)))
+	c.scratch = h[:0]
+	if _, err := c.bw.Write(h); err != nil {
+		return 0, err
+	}
+	wire := int64(len(h)) + int64(len(data))*8
+	if cap(c.scratch) < rawChunkElems*8 {
+		c.scratch = make([]byte, rawChunkElems*8)
+	}
+	buf := c.scratch[:rawChunkElems*8]
+	for off := 0; off < len(data); off += rawChunkElems {
+		n := len(data) - off
+		if n > rawChunkElems {
+			n = rawChunkElems
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(data[off+i]))
+		}
+		if _, err := c.bw.Write(buf[:n*8]); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	if c.stats != nil {
+		c.stats.MsgsSent.Inc()
+	}
+	return wire, nil
+}
+
+// readRawRotation decodes a raw rotation frame (tag already consumed)
+// into m: the partition range lands in PartDim/PartLo/PartHi/PartDims
+// and the dense payload in Values, scattered into pooled storage the
+// caller now owns.
+func (c *codec) readRawRotation(m *Msg) error {
+	nameLen, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return err
+	}
+	if nameLen > 1<<16 {
+		return fmt.Errorf("runtime: raw rotation frame: array name length %d", nameLen)
+	}
+	if cap(c.scratch) < int(nameLen) {
+		c.scratch = make([]byte, nameLen)
+	}
+	nb := c.scratch[:nameLen]
+	if _, err := io.ReadFull(c.br, nb); err != nil {
+		return err
+	}
+	name := c.intern(nb)
+	dim, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return err
+	}
+	lo, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return err
+	}
+	hi, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return err
+	}
+	ndims, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return err
+	}
+	if ndims > 16 {
+		return fmt.Errorf("runtime: raw rotation frame: %d dims", ndims)
+	}
+	extent := uint64(1)
+	m.PartDims = m.PartDims[:0]
+	for i := uint64(0); i < ndims; i++ {
+		d, err := binary.ReadUvarint(c.br)
+		if err != nil {
+			return err
+		}
+		m.PartDims = append(m.PartDims, int64(d))
+		extent *= d
+	}
+	count, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return err
+	}
+	if count != extent || count > 1<<34 {
+		return fmt.Errorf("runtime: raw rotation frame: %d elements for extent %d", count, extent)
+	}
+	vals := bufpool.GetF64(int(count))
+	if cap(c.scratch) < rawChunkElems*8 {
+		c.scratch = make([]byte, rawChunkElems*8)
+	}
+	buf := c.scratch[:rawChunkElems*8]
+	for off := 0; off < len(vals); off += rawChunkElems {
+		n := len(vals) - off
+		if n > rawChunkElems {
+			n = rawChunkElems
+		}
+		if _, err := io.ReadFull(c.br, buf[:n*8]); err != nil {
+			bufpool.PutF64(vals)
+			return err
+		}
+		for i := 0; i < n; i++ {
+			vals[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+	}
+	m.Kind = MsgRotate
+	m.Raw = true
+	m.Array = name
+	m.PartDim = int(dim)
+	m.PartLo = int64(lo)
+	m.PartHi = int64(hi)
+	m.Values = vals
+	return nil
+}
+
+// intern returns a long-lived string for a transient name buffer
+// without allocating on repeat lookups.
+func (c *codec) intern(b []byte) string {
+	if s, ok := c.names[string(b)]; ok {
+		return s
+	}
+	if c.names == nil {
+		c.names = map[string]string{}
+	}
+	s := string(b)
+	c.names[s] = s
+	return s
 }
 
 func (c *codec) close() error { return c.conn.Close() }

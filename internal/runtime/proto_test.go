@@ -1,8 +1,12 @@
 package runtime
 
 import (
+	"math"
 	"net"
 	"testing"
+
+	"orion/internal/dsm"
+	"orion/internal/runtime/bufpool"
 )
 
 // TestMsgReset: reset must zero every field while keeping the hot
@@ -16,22 +20,32 @@ func TestMsgReset(t *testing.T) {
 		Values:   []float64{4, 5, 6},
 		Backend:  "compiled",
 		Err:      "boom",
+		Raw:      true,
+		PartDim:  1,
+		PartLo:   2,
+		PartHi:   9,
+		PartDims: []int64{3, 7},
 		ArrayDims: map[string][]int64{
 			"w": {3},
 		},
 	}
 	off0 := &m.Offsets[0]
 	val0 := &m.Values[0]
+	dim0 := &m.PartDims[0]
 	m.reset()
 	if m.Kind != 0 || m.Array != "" || m.PartBlob != nil || m.Backend != "" || m.Err != "" || m.ArrayDims != nil {
 		t.Fatalf("reset left fields set: %+v", m)
 	}
-	if len(m.Offsets) != 0 || len(m.Values) != 0 {
-		t.Fatalf("reset left payload lengths: %d, %d", len(m.Offsets), len(m.Values))
+	if m.Raw || m.PartDim != 0 || m.PartLo != 0 || m.PartHi != 0 {
+		t.Fatalf("reset left raw rotation fields set: %+v", m)
+	}
+	if len(m.Offsets) != 0 || len(m.Values) != 0 || len(m.PartDims) != 0 {
+		t.Fatalf("reset left payload lengths: %d, %d, %d", len(m.Offsets), len(m.Values), len(m.PartDims))
 	}
 	m.Offsets = m.Offsets[:1]
 	m.Values = m.Values[:1]
-	if &m.Offsets[0] != off0 || &m.Values[0] != val0 {
+	m.PartDims = m.PartDims[:1]
+	if &m.Offsets[0] != off0 || &m.Values[0] != val0 || &m.PartDims[0] != dim0 {
 		t.Fatal("reset dropped the payload backing storage")
 	}
 }
@@ -106,6 +120,112 @@ func TestRecvIntoReusesPayloadStorage(t *testing.T) {
 
 	cc.send(&Msg{Kind: MsgShutdown})
 	<-done
+}
+
+// TestRawRotationRoundTrip: a dense partition shipped via sendRotation
+// must come back bitwise-identical through the raw frame path, and a
+// sparse partition must transparently fall back to the gob path.
+func TestRawRotationRoundTrip(t *testing.T) {
+	clientConn, serverConn := net.Pipe()
+	defer clientConn.Close()
+	defer serverConn.Close()
+	cc := newCodec(clientConn)
+	sc := newCodec(serverConn)
+
+	a := dsm.NewDense("w", 3, 4)
+	for i := int64(0); i < 3; i++ {
+		for j := int64(0); j < 4; j++ {
+			a.SetAt(float64(i)*10+float64(j)+0.125, i, j)
+		}
+	}
+	p := a.ExtractRange(1, 1, 3)
+
+	go func() {
+		if _, err := cc.sendRotation("w", p); err != nil {
+			t.Error(err)
+		}
+	}()
+	var in Msg
+	if err := sc.recvInto(&in); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Raw || in.Kind != MsgRotate || in.Array != "w" {
+		t.Fatalf("raw frame decoded as %+v", in)
+	}
+	if in.PartDim != 1 || in.PartLo != 1 || in.PartHi != 3 {
+		t.Fatalf("partition range came back as dim=%d [%d,%d)", in.PartDim, in.PartLo, in.PartHi)
+	}
+	got, err := partitionFromMsg(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := p.Local.DenseData()
+	gotData, _ := got.Local.DenseData()
+	if len(gotData) != len(want) {
+		t.Fatalf("decoded %d elements, want %d", len(gotData), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(gotData[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("element %d: got %v, want %v (not bitwise equal)", i, gotData[i], want[i])
+		}
+	}
+
+	// Sparse partitions fall back to the gob message path.
+	s := dsm.NewSparse("idx", 8)
+	s.SetAt(2.5, 3)
+	sp := s.ExtractRange(0, 0, 8)
+	go func() {
+		if _, err := cc.sendRotation("idx", sp); err != nil {
+			t.Error(err)
+		}
+	}()
+	var in2 Msg
+	if err := sc.recvInto(&in2); err != nil {
+		t.Fatal(err)
+	}
+	if in2.Raw || in2.Kind != MsgRotate || in2.PartBlob == nil {
+		t.Fatalf("sparse rotation decoded as %+v", in2)
+	}
+	got2, err := partitionFromMsg(&in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Local.At(3) != 2.5 {
+		t.Fatalf("sparse round trip lost data: got %v", got2.Local.At(3))
+	}
+}
+
+// TestRawRotationAllocs: steady-state raw rotation round trips must not
+// allocate per rotated partition beyond a tiny fixed budget — the whole
+// point of the pooled raw codec over per-message gob blobs.
+func TestRawRotationAllocs(t *testing.T) {
+	clientConn, serverConn := net.Pipe()
+	defer clientConn.Close()
+	defer serverConn.Close()
+	cc := newCodec(clientConn)
+	sc := newCodec(serverConn)
+
+	a := dsm.NewDense("w", 6, 128)
+	p := a.ExtractRange(1, 0, 128)
+	var in Msg
+	roundTrip := func() {
+		go cc.sendRotation("w", p)
+		if err := sc.recvInto(&in); err != nil {
+			t.Fatal(err)
+		}
+		bufpool.PutF64(in.Values)
+		in.Values = nil
+	}
+	for i := 0; i < 3; i++ {
+		roundTrip()
+	}
+	allocs := testing.AllocsPerRun(100, roundTrip)
+	// Budget: the sender goroutine itself, the pool's Put indirection,
+	// and net.Pipe scheduling — but no payload-sized allocations. The
+	// gob partition path costs >40 objects per rotation at this size.
+	if allocs > 8 {
+		t.Fatalf("raw rotation round trip allocates %.0f objects, want <= 8", allocs)
+	}
 }
 
 // BenchmarkPeerRoundTrip measures the reusing codec path end to end
