@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race chaos bench-smoke vet-examples fuzz bench-baseline bench-obs bench-vm bench-transport golden-plans golden-plans-check
+.PHONY: check fmt vet lint build test race chaos bench-smoke trace-smoke vet-examples fuzz bench-baseline bench-obs bench-vm bench-transport golden-plans golden-plans-check
 
-check: fmt vet lint build test race chaos bench-smoke golden-plans-check
+check: fmt vet lint build test race chaos bench-smoke trace-smoke golden-plans-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -49,6 +49,19 @@ chaos:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x \
 		./internal/lang ./internal/dsm ./internal/runtime ./internal/bench
+
+# End-to-end flight-recorder smoke: a 2-worker MF run over real TCP
+# sockets with tracing, report export, and the flight log on, then
+# orion-trace over the artifacts — analyze exits non-zero when the
+# merged trace carries no spans or the report no loops.
+trace-smoke:
+	@dir="$$(mktemp -d)"; trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/orion-run -engine dsl -app mf -workers 2 -passes 2 \
+		-transport tcp -trace "$$dir/trace.json" \
+		-report-json "$$dir/report.json" -flightrec "$$dir/flight.jsonl" && \
+	$(GO) run ./cmd/orion-trace analyze -report "$$dir/report.json" "$$dir/trace.json" && \
+	$(GO) run ./cmd/orion-trace top -n 5 "$$dir/trace.json" && \
+	test -s "$$dir/flight.jsonl"
 
 # Regenerate the committed interp-vs-compiled kernel baseline.
 bench-baseline:

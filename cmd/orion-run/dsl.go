@@ -14,6 +14,7 @@ import (
 	"orion/internal/driver"
 	"orion/internal/dsm"
 	"orion/internal/lang"
+	"orion/internal/obs"
 	"orion/internal/runtime"
 )
 
@@ -84,29 +85,72 @@ end
 `
 )
 
+// dslConfig collects runDSL's knobs (one per -engine dsl flag).
+type dslConfig struct {
+	App        string // mf | lda | slr
+	Backend    string // "" | vm | compiled | interp
+	Transport  string // "" | inproc | tcp
+	Workers    int
+	Passes     int
+	Report     bool   // print the per-worker report
+	ReportJSON string // write the machine-readable report document here
+	CkptDir    string
+	CkptEvery  int64
+}
+
 // runDSL trains an application written purely in Orion's DSL on the
-// real distributed runtime (in-process transport), with the loop
-// backend selectable from the command line: "" compiles loop bodies to
-// closures and falls back to the interpreter outside the compiled
-// subset, "compiled" makes fallback an error, "interp" forces the
-// reference interpreter. A non-empty ckptDir enables coordinated
+// real distributed runtime, with the loop backend selectable from the
+// command line: "" compiles loop bodies to closures and falls back to
+// the interpreter outside the compiled subset, "compiled" makes
+// fallback an error, "interp" forces the reference interpreter. The
+// transport is in-process by default; "tcp" runs the same executors
+// over real sockets (loopback), which exercises the full wire protocol
+// including trace collection. A non-empty CkptDir enables coordinated
 // checkpointing (and in-loop recovery from worker loss); when the
 // directory already holds a committed checkpoint from an earlier run
 // of the same program, training warm-starts from it.
-func runDSL(app, backend string, workers, passes int, report bool, ckptDir string, ckptEvery int64) error {
+func runDSL(cfg dslConfig) error {
+	app, workers, passes := cfg.App, cfg.Workers, cfg.Passes
 	if workers <= 0 {
 		workers = 4
 	}
-	sess, err := driver.NewLocalSession(workers)
+	var (
+		sess *driver.Session
+		err  error
+	)
+	switch cfg.Transport {
+	case "", "inproc":
+		sess, err = driver.NewLocalSession(workers)
+	case "tcp":
+		sess, err = driver.NewLocalSessionOver(runtime.TCP{}, "127.0.0.1:0", "127.0.0.1:0", workers)
+	default:
+		return fmt.Errorf("unknown -transport %q (inproc | tcp)", cfg.Transport)
+	}
 	if err != nil {
 		return err
 	}
 	defer sess.Close()
-	if err := sess.SetBackend(backend); err != nil {
+	if cfg.ReportJSON != "" {
+		// Written before Close (defers run LIFO) so a failed run still
+		// leaves a partial report with the flight log's final events.
+		defer func() {
+			doc := &obs.ReportDoc{
+				Loops:  sess.AllReports(),
+				Peers:  obs.Default.PeerTraffic(),
+				Flight: obs.Flight().Events(),
+			}
+			if werr := doc.WriteFile(cfg.ReportJSON); werr == nil {
+				fmt.Fprintf(os.Stderr, "orion-run: report written to %s\n", cfg.ReportJSON)
+			} else {
+				fmt.Fprintf(os.Stderr, "orion-run: report-json: %v\n", werr)
+			}
+		}()
+	}
+	if err := sess.SetBackend(cfg.Backend); err != nil {
 		return err
 	}
-	sess.SetCheckpointDir(ckptDir)
-	sess.SetCheckpointEvery(ckptEvery)
+	sess.SetCheckpointDir(cfg.CkptDir)
+	sess.SetCheckpointEvery(cfg.CkptEvery)
 
 	var (
 		src        string
@@ -218,8 +262,8 @@ func runDSL(app, backend string, workers, passes int, report bool, ckptDir strin
 		passes = defPasses
 	}
 
-	if ckptDir != "" {
-		if err := resumeFromCheckpoint(os.Stderr, sess, app, src, ckptDir); err != nil {
+	if cfg.CkptDir != "" {
+		if err := resumeFromCheckpoint(os.Stderr, sess, app, src, cfg.CkptDir); err != nil {
 			return err
 		}
 	}
@@ -239,7 +283,7 @@ func runDSL(app, backend string, workers, passes int, report bool, ckptDir strin
 	if d := sess.Diagnostics().First(diag.CodeBackend); d != nil {
 		fmt.Println(d.Message)
 	}
-	if report {
+	if cfg.Report {
 		if r := sess.CombinedReport(); r != nil {
 			fmt.Println()
 			fmt.Print(r.Render())

@@ -22,15 +22,18 @@ import (
 
 func main() {
 	var (
-		app     = flag.String("app", "mf", "application: mf | mf-adarev | lda | slr | stencil | gbt")
-		eng     = flag.String("engine", "orion", "engine: serial | orion | ordered | dp | cm | strads | dataflow | dsl")
-		workers = flag.Int("workers", 0, "worker count (default: scale's)")
-		passes  = flag.Int("passes", 0, "data passes (default: scale's)")
-		scale   = flag.String("scale", "default", "dataset scale: small | default")
-		backend = flag.String("backend", "", "loop backend for -engine dsl: vm | compiled | interp (default: vm, falling back to compiled, then the interpreter)")
-		trace   = flag.String("trace", "", "write a Chrome trace-event JSON file here (-engine dsl; open at ui.perfetto.dev)")
-		report  = flag.Bool("report", false, "print the per-worker execution report after the run (-engine dsl)")
-		metrics = flag.String("metrics-addr", "", "serve runtime metrics (/debug/vars) and profiling (/debug/pprof/) on this address")
+		app        = flag.String("app", "mf", "application: mf | mf-adarev | lda | slr | stencil | gbt")
+		eng        = flag.String("engine", "orion", "engine: serial | orion | ordered | dp | cm | strads | dataflow | dsl")
+		workers    = flag.Int("workers", 0, "worker count (default: scale's)")
+		passes     = flag.Int("passes", 0, "data passes (default: scale's)")
+		scale      = flag.String("scale", "default", "dataset scale: small | default")
+		backend    = flag.String("backend", "", "loop backend for -engine dsl: vm | compiled | interp (default: vm, falling back to compiled, then the interpreter)")
+		transport  = flag.String("transport", "inproc", "runtime transport for -engine dsl: inproc | tcp (tcp exercises real sockets)")
+		trace      = flag.String("trace", "", "write a Chrome trace-event JSON file here (-engine dsl; open at ui.perfetto.dev)")
+		report     = flag.Bool("report", false, "print the per-worker execution report after the run (-engine dsl)")
+		reportJSON = flag.String("report-json", "", "write the machine-readable report document (loops, peer traffic, flight log) here (-engine dsl)")
+		flightRec  = flag.String("flightrec", "", "flush the flight-recorder event log here on exit, even after a failed run (-engine dsl)")
+		metrics    = flag.String("metrics-addr", "", "serve runtime metrics (/debug/vars) and profiling (/debug/pprof/) on this address")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "coordinated checkpoint directory (-engine dsl); enables recovery from worker loss")
 		ckptEvery = flag.Int64("checkpoint-every", 0, "checkpoint every N global steps (0 = pass boundaries only; needs -checkpoint-dir)")
@@ -38,11 +41,12 @@ func main() {
 	flag.Parse()
 
 	if *metrics != "" {
-		addr, err := obs.ServeMetrics(*metrics)
+		srv, err := obs.ServeMetrics(*metrics)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "orion-run: metrics at http://%s/debug/vars\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "orion-run: metrics at http://%s/debug/vars (report at /report)\n", srv.Addr())
 	}
 
 	// -engine dsl runs the app from pure DSL source on the real
@@ -52,7 +56,23 @@ func main() {
 		if *trace != "" {
 			tracer = obs.StartTracing()
 		}
-		err := runDSL(*app, *backend, *workers, *passes, *report, *ckptDir, *ckptEvery)
+		// Flush the flight log even when the run fails or panics — the
+		// last events before an abort are the ones worth reading.
+		flushFlight := func() {
+			if *flightRec == "" {
+				return
+			}
+			if ferr := obs.Flight().FlushFile(*flightRec); ferr == nil {
+				fmt.Fprintf(os.Stderr, "orion-run: flight log written to %s\n", *flightRec)
+			}
+		}
+		defer flushFlight()
+		err := runDSL(dslConfig{
+			App: *app, Backend: *backend, Transport: *transport,
+			Workers: *workers, Passes: *passes,
+			Report: *report, ReportJSON: *reportJSON,
+			CkptDir: *ckptDir, CkptEvery: *ckptEvery,
+		})
 		if tracer != nil {
 			obs.StopTracing()
 			// Write the trace even when the run failed — a truncated
@@ -66,6 +86,7 @@ func main() {
 			}
 		}
 		if err != nil {
+			flushFlight() // fatal exits without running defers
 			fatal(err)
 		}
 		return

@@ -71,12 +71,13 @@ func main() {
 		os.Exit(2)
 	}
 	if *metrics != "" {
-		addr, err := obs.ServeMetrics(*metrics)
+		srv, err := obs.ServeMetrics(*metrics)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "orion-worker:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "orion-worker: metrics at http://%s/debug/vars\n", addr)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "orion-worker: metrics at http://%s/debug/vars (report at /report)\n", srv.Addr())
 	}
 	dslkernel.Install()
 	var tr runtime.Transport = runtime.TCP{}

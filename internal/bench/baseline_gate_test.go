@@ -82,6 +82,43 @@ func TestTransportBaselineThresholds(t *testing.T) {
 	}
 }
 
+// TestObsBaselineThresholds gates the committed BENCH_obs.json: the
+// observability layer's budget is < 3% compiled-kernel regression with
+// tracing off, and every hot-path primitive (spans, counters,
+// histograms, flight-log appends) must stay allocation-free.
+func TestObsBaselineThresholds(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_obs.json")
+	if err != nil {
+		t.Fatalf("read committed baseline: %v (regenerate with `make bench-obs`)", err)
+	}
+	var d obsBaseline
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Kernels) < 3 {
+		t.Fatalf("baseline covers %d kernels, want the MF/LDA/SLR trio", len(d.Kernels))
+	}
+	for _, k := range d.Kernels {
+		if k.RegressionPct >= 3.0 {
+			t.Errorf("%s: %.1f%% regression vs BENCH_kernels.json, budget is < 3%%", k.Kernel, k.RegressionPct)
+		}
+	}
+	want := map[string]bool{"span_disabled": false, "flight_append": false}
+	for _, p := range d.Primitives {
+		if p.AllocsPerOp != 0 {
+			t.Errorf("%s: %d allocs/op, want 0", p.Op, p.AllocsPerOp)
+		}
+		if _, tracked := want[p.Op]; tracked {
+			want[p.Op] = true
+		}
+	}
+	for op, present := range want {
+		if !present {
+			t.Errorf("baseline is missing the %s primitive (regenerate with `make bench-obs`)", op)
+		}
+	}
+}
+
 // newVMKernel builds a bound VM kernel for one of the obsKernels
 // fixtures, mirroring obsKernel.newKernel for the closure backend.
 func newVMKernel(tb testing.TB, ok obsKernel) *vm.Kernel {

@@ -222,6 +222,7 @@ func measureObs(baselinePath string) (*obsBaseline, error) {
 	reg := obs.NewRegistry()
 	ctr := reg.GetCounter("bench.counter")
 	hist := reg.GetHistogram("bench.hist")
+	flog := obs.NewEventLog(obs.DefaultFlightCap)
 	prims := []struct {
 		op string
 		f  func(b *testing.B)
@@ -250,6 +251,12 @@ func measureObs(baselinePath string) (*obsBaseline, error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				hist.Observe(int64(i))
+			}
+		}},
+		{"flight_append", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				flog.Record(obs.FlightEvent{UnixNs: 1, Kind: "ckpt.write", Loop: "bench", Pass: 0, Step: i % 8, Worker: -1})
 			}
 		}},
 	}

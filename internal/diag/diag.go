@@ -44,6 +44,10 @@
 //	ORN301  error    a worker died mid-loop; results are partial
 //	ORN303  error    checkpoint resume rejected: manifest fingerprint
 //	                 does not match the current plan artifact
+//	ORN401  warning  measured compute skew: one worker's kernel time far
+//	                 exceeds the fleet median (straggler)
+//	ORN402  warning  loop is rotation-bound: measured rotation-wait
+//	                 dominates compute (compare ORN107's static estimate)
 package diag
 
 import (
@@ -78,6 +82,8 @@ const (
 	CodeGuardDemoted   = "ORN204"
 	CodeWorkerLost     = "ORN301"
 	CodeResumeMismatch = "ORN303"
+	CodeComputeSkew    = "ORN401"
+	CodeRotationBound  = "ORN402"
 )
 
 // Severity classifies a diagnostic. Errors abort compilation/execution;

@@ -166,7 +166,7 @@ func (s *Session) WaitForWorkers() error { return s.master.WaitForExecutors() }
 func (s *Session) Addr() string { return s.master.Addr() }
 
 func newSession(tr runtime.Transport, m *runtime.Master, n int) *Session {
-	return &Session{
+	s := &Session{
 		transport:   tr,
 		master:      m,
 		n:           n,
@@ -178,6 +178,10 @@ func newSession(tr runtime.Transport, m *runtime.Master, n int) *Session {
 		rejoinWait:  10 * time.Second,
 		accumBase:   map[string]float64{},
 	}
+	// The /report metrics endpoint serves whatever the newest session
+	// has accumulated.
+	obs.SetReportSource(s.AllReports)
+	return s
 }
 
 // SetCheckpointDir enables coordinated checkpointing: every qualifying
@@ -388,6 +392,11 @@ func (s *Session) LastReport() *obs.LoopReport {
 // multi-pass driver accumulates several). Nil when nothing has run.
 func (s *Session) CombinedReport() *obs.LoopReport { return s.master.CombinedReport() }
 
+// AllReports returns every loop's execution report, sorted by loop
+// name — the machine-readable export behind orion-run -report-json and
+// the /report metrics endpoint.
+func (s *Session) AllReports() []*obs.LoopReport { return s.master.AllReports() }
+
 // PlanOf runs only the static pipeline — parse, analyze, dependence
 // vectors, plan — without executing; useful for inspection. Unlike
 // ParallelFor it succeeds on a not-parallelizable loop (the verdict IS
@@ -439,6 +448,11 @@ func (s *Session) ParallelFor(src string, options ...Option) (*sched.Plan, error
 				fmt.Sprintf("set the guard variables so that %s holds to run this loop in parallel", e.guard),
 				"runtime guard %s failed (%s): loop %q demoted to a serial driver-side pass", e.guard, why, e.spec.Name))
 			s.lastDiags.Sort()
+			obs.Flight().Record(obs.FlightEvent{
+				Kind: "guard.demoted", Clock: s.master.Clock(),
+				Loop: e.spec.Name, Pass: -1, Step: -1, Worker: -1,
+				Detail: fmt.Sprintf("guard %s failed: %s", e.guard, why),
+			})
 			return e.plan, s.runDemoted(e, o.passes)
 		}
 	}
@@ -477,7 +491,9 @@ func (s *Session) Accumulate(name string) (float64, error) {
 // every served read.
 func (s *Session) Misses() int64 { return s.master.Misses() }
 
-// Close shuts the session down.
+// Close shuts the session down. When tracing is on it first pulls any
+// spans still sitting in remote workers' rings, so the merged trace
+// covers the whole run.
 func (s *Session) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -485,6 +501,7 @@ func (s *Session) Close() {
 		return
 	}
 	s.closed = true
+	s.master.CollectTraces()
 	s.master.Shutdown()
 	for _, d := range s.execDone {
 		<-d

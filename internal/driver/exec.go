@@ -280,6 +280,11 @@ func (s *Session) defineLoopAs(e *compiledLoop, name string) error {
 	}
 	s.lastDiags.Add(diag.Infof(diag.CodeBackend, diag.Pos{}, "",
 		"loop %s executes on the %s backend", name, backend))
+	obs.Flight().Record(obs.FlightEvent{
+		Kind: "backend.select", Clock: s.master.Clock(),
+		Loop: name, Pass: -1, Step: -1, Worker: -1,
+		Detail: backend,
+	})
 	if e.art != nil {
 		e.art.Backend = backend
 		def.PlanBlob = e.art.EncodeBinary()

@@ -87,6 +87,7 @@ func (s *Session) planFor(src string, ordered bool) (*compiledLoop, error) {
 	key := s.planKey(src, ordered)
 	if e, ok := s.planMem[key]; ok {
 		obs.GetCounter("driver.plan_reuse").Inc()
+		s.recordPlanEvent("plan.cache.hit", e, "session memo")
 		s.lastDiags = append(diag.List(nil), e.diags...)
 		return e, e.diags.Err()
 	}
@@ -94,6 +95,7 @@ func (s *Session) planFor(src string, ordered bool) (*compiledLoop, error) {
 		if art := s.planDisk.Get(key); art != nil {
 			if e, err := s.entryFromArtifact(art); err == nil {
 				obs.GetCounter("driver.plan_reuse").Inc()
+				s.recordPlanEvent("plan.cache.hit", e, "disk artifact")
 				s.planMem[key] = e
 				s.lastDiags = nil
 				return e, nil
@@ -107,11 +109,27 @@ func (s *Session) planFor(src string, ordered bool) (*compiledLoop, error) {
 	if e == nil {
 		return nil, err
 	}
+	s.recordPlanEvent("plan.cache.miss", e, "compiled")
 	s.planMem[key] = e
 	if s.planDisk != nil && e.art != nil && !e.diags.HasErrors() {
 		s.planDisk.Put(key, e.art)
 	}
 	return e, err
+}
+
+// recordPlanEvent logs one plan-cache outcome to the flight recorder,
+// keyed by the loop's declared name (kernel names are minted later, at
+// dispatch).
+func (s *Session) recordPlanEvent(kind string, e *compiledLoop, detail string) {
+	loop := ""
+	if e != nil && e.spec != nil {
+		loop = e.spec.Name
+	}
+	obs.Flight().Record(obs.FlightEvent{
+		Kind: kind, Clock: s.master.Clock(),
+		Loop: loop, Pass: -1, Step: -1, Worker: -1,
+		Detail: detail,
+	})
 }
 
 // compile runs the full static pipeline over loop source and

@@ -37,7 +37,14 @@ func (s *Session) runWithRecovery(e *compiledLoop, kernel string, attempt func(r
 	for restarts := 0; ; restarts++ {
 		gathered, err := attempt(start)
 		if err == nil {
-			return s.gather(gathered)
+			if gerr := s.gather(gathered); gerr != nil {
+				return gerr
+			}
+			// Loop boundary: pull remote span rings while every worker
+			// is idle, so a later crash cannot take their history down
+			// with it. Best-effort and bounded; a no-op unless tracing.
+			s.master.CollectTraces()
+			return nil
 		}
 		if !errors.Is(err, runtime.ErrWorkerLost) || s.checkpointDir == "" || restarts >= s.maxRestarts {
 			return err
@@ -52,6 +59,10 @@ func (s *Session) runWithRecovery(e *compiledLoop, kernel string, attempt func(r
 		}
 		if restored {
 			floor, floorWorkers = pos, s.n
+			obs.Flight().Record(obs.FlightEvent{
+				Kind: "ckpt.restore", Clock: s.master.Clock(),
+				Loop: kernel, Pass: pos.pass, Step: pos.step, Worker: -1,
+			})
 		} else if floor.step != 0 && s.n != floorWorkers {
 			return fmt.Errorf("driver: recovery: fleet re-formed with %d workers but the only restorable state is a mid-pass snapshot cut for %d: %w",
 				s.n, floorWorkers, err)
@@ -88,7 +99,17 @@ func (s *Session) rebuildFleet() error {
 			}
 			s.execDone = append(s.execDone, done)
 		}
-		return <-ready
+		if err := <-ready; err != nil {
+			return err
+		}
+		for i := 0; i < s.n; i++ {
+			obs.Flight().Record(obs.FlightEvent{
+				Kind: "worker.rejoin", Clock: s.master.Clock(),
+				Pass: -1, Step: -1, Worker: i,
+				Detail: "respawned",
+			})
+		}
+		return nil
 	}
 	minW := s.minWorkers
 	if minW <= 0 || minW > s.n {

@@ -1,0 +1,72 @@
+package analyze
+
+// Span-level analytics over a merged Chrome trace: aggregate "X" spans
+// by name for orion-trace top, and basic lane accounting so callers
+// can verify a merged trace really carries every worker.
+
+import (
+	"sort"
+
+	"orion/internal/obs"
+)
+
+// SpanStat aggregates all spans sharing a name.
+type SpanStat struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	TotalUs float64 `json:"total_us"`
+	MaxUs   float64 `json:"max_us"`
+	Lanes   int     `json:"lanes"` // distinct (pid, tid) lanes the span appears on
+}
+
+// Top aggregates complete spans by name, sorted by total duration
+// descending.
+func Top(events []obs.TraceEvent) []SpanStat {
+	type key struct{ pid, tid int }
+	byName := map[string]*SpanStat{}
+	lanes := map[string]map[key]bool{}
+	var order []string
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		s := byName[ev.Name]
+		if s == nil {
+			s = &SpanStat{Name: ev.Name}
+			byName[ev.Name] = s
+			lanes[ev.Name] = map[key]bool{}
+			order = append(order, ev.Name)
+		}
+		s.Count++
+		s.TotalUs += ev.Dur
+		if ev.Dur > s.MaxUs {
+			s.MaxUs = ev.Dur
+		}
+		lanes[ev.Name][key{ev.Pid, ev.Tid}] = true
+	}
+	out := make([]SpanStat, 0, len(order))
+	for _, name := range order {
+		s := byName[name]
+		s.Lanes = len(lanes[name])
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TotalUs > out[j].TotalUs })
+	return out
+}
+
+// Pids returns the distinct pids (worker lanes) carrying complete
+// spans, sorted ascending.
+func Pids(events []obs.TraceEvent) []int {
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if ev.Ph == "X" {
+			seen[ev.Pid] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for pid := range seen {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,112 @@
+package analyze
+
+// The measured weight profile: per-worker iteration cost extracted
+// from a loop's execution report, exported in the shape the histogram
+// partitioner consumes. The static pipeline cuts partitions from
+// per-coordinate iteration *counts* (every iteration weighs 1); a
+// profile measured on a skewed run re-weights those counts by the
+// owning worker's observed ns/iter, so the next cut hands the slow
+// worker a proportionally smaller range — the feedback half of
+// ROADMAP item 3's measurement-driven re-planning loop.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+
+	"orion/internal/obs"
+)
+
+// WorkerCost is one worker's measured iteration cost.
+type WorkerCost struct {
+	Worker    int     `json:"worker"`
+	Iters     int64   `json:"iters"`
+	ComputeNs int64   `json:"compute_ns"`
+	NsPerIter float64 `json:"ns_per_iter"`
+	// CostFactor is NsPerIter normalized so the cheapest worker is 1.0.
+	CostFactor float64 `json:"cost_factor"`
+}
+
+// WeightProfile is a loop's measured per-worker cost model.
+type WeightProfile struct {
+	Loop    string       `json:"loop"`
+	Workers []WorkerCost `json:"workers"`
+}
+
+// Weights extracts the measured cost profile from a loop report (nil
+// when no worker recorded iterations).
+func Weights(r *obs.LoopReport) *WeightProfile {
+	p := &WeightProfile{Loop: r.Loop}
+	minCost := math.MaxFloat64
+	for _, w := range r.Workers {
+		c := WorkerCost{Worker: w.Worker, Iters: w.Iters, ComputeNs: w.ComputeNs}
+		if w.Iters > 0 {
+			c.NsPerIter = float64(w.ComputeNs) / float64(w.Iters)
+			if c.NsPerIter > 0 && c.NsPerIter < minCost {
+				minCost = c.NsPerIter
+			}
+		}
+		p.Workers = append(p.Workers, c)
+	}
+	if len(p.Workers) == 0 {
+		return nil
+	}
+	if minCost == math.MaxFloat64 {
+		minCost = 1
+	}
+	for i := range p.Workers {
+		if p.Workers[i].NsPerIter > 0 {
+			p.Workers[i].CostFactor = p.Workers[i].NsPerIter / minCost
+		} else {
+			p.Workers[i].CostFactor = 1
+		}
+	}
+	return p
+}
+
+// CostOf returns the measured cost factor for a worker (1.0 when the
+// worker has no measurement).
+func (p *WeightProfile) CostOf(worker int) float64 {
+	for _, w := range p.Workers {
+		if w.Worker == worker {
+			if w.CostFactor > 0 {
+				return w.CostFactor
+			}
+			return 1
+		}
+	}
+	return 1
+}
+
+// Reweight scales per-coordinate iteration weights by the measured
+// cost of the worker that owned each coordinate in the profiled run.
+// owner maps a coordinate index to its worker; the returned slice has
+// the shape sched.NewHistogramPartitioner and plan.BalancedPartitioner
+// expect, so re-cutting with it shifts coordinates away from measured
+// stragglers.
+func (p *WeightProfile) Reweight(coordWeights []int64, owner func(coord int) int) []int64 {
+	out := make([]int64, len(coordWeights))
+	for i, w := range coordWeights {
+		scaled := int64(math.Round(float64(w) * p.CostOf(owner(i))))
+		if w > 0 && scaled <= 0 {
+			scaled = 1
+		}
+		out[i] = scaled
+	}
+	return out
+}
+
+// WriteFile exports the profile as JSON.
+func (p *WeightProfile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

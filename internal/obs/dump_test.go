@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func countEvents(evs []TraceEvent, name string) int {
+	n := 0
+	for _, ev := range evs {
+		if ev.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDumpIsIncremental(t *testing.T) {
+	tr := NewTracer()
+	b := tr.NewBuf(1, "w")
+	for i := 0; i < 3; i++ {
+		b.End("alpha", "test", time.Now())
+	}
+
+	d1 := tr.Dump()
+	if len(d1.Bufs) != 1 || len(d1.Bufs[0].Spans) != 3 {
+		t.Fatalf("first dump = %+v, want 3 spans in one buf", d1)
+	}
+
+	// Nothing new: the buffer is elided entirely.
+	if d2 := tr.Dump(); len(d2.Bufs) != 0 {
+		t.Fatalf("second dump shipped %d bufs, want 0", len(d2.Bufs))
+	}
+
+	b.End("beta", "test", time.Now())
+	d3 := tr.Dump()
+	if len(d3.Bufs) != 1 || len(d3.Bufs[0].Spans) != 1 || d3.Bufs[0].Spans[0].Name != "beta" {
+		t.Fatalf("third dump = %+v, want just the beta span", d3)
+	}
+}
+
+func TestDumpSkipsOverwrittenSpans(t *testing.T) {
+	tr := NewTracer()
+	tr.SetBufCap(4)
+	b := tr.NewBuf(1, "w")
+	for i := 0; i < 10; i++ {
+		b.End("s", "test", time.Now())
+	}
+	d := tr.Dump()
+	if len(d.Bufs) != 1 || len(d.Bufs[0].Spans) != 4 {
+		t.Fatalf("dump after wrap = %+v, want the 4 live spans", d)
+	}
+	if d.Bufs[0].Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", d.Bufs[0].Dropped)
+	}
+}
+
+func TestIngestAlignsRemoteTimestamps(t *testing.T) {
+	local := NewTracer()
+
+	// A remote tracer whose clock runs 5ms ahead of ours and whose
+	// trace started 1ms after ours (on our clock).
+	const offsetNs = int64(5e6)
+	remoteStartLocal := local.StartUnixNs() + int64(1e6)
+	d := &TraceDump{
+		TracerID:    local.ID() + 1,
+		StartUnixNs: remoteStartLocal + offsetNs,
+		Bufs: []BufDump{{
+			Pid: 2, Tid: 1, Name: "exec1",
+			Spans: []SpanRec{{Name: "exec.block", Cat: "exec", StartNs: int64(2e6), DurNs: int64(3e6), K1: "iters", V1: 10}},
+		}},
+	}
+	local.Ingest(d, offsetNs)
+
+	evs := local.Events()
+	var got *TraceEvent
+	for i := range evs {
+		if evs[i].Name == "exec.block" {
+			got = &evs[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("ingested span missing from Events: %+v", evs)
+	}
+	// Expected: (1ms since local start) + (2ms into the remote trace)
+	// = 3ms = 3000µs on the local timeline.
+	if wantTs := 3000.0; got.Ts != wantTs {
+		t.Fatalf("aligned Ts = %v µs, want %v", got.Ts, wantTs)
+	}
+	if got.Dur != 3000.0 || got.Pid != 2 {
+		t.Fatalf("span = %+v", got)
+	}
+	if got.Args["iters"] != int64(10) {
+		t.Fatalf("args = %v", got.Args)
+	}
+	// The lane got a thread_name metadata event with the remote name.
+	found := false
+	for _, ev := range evs {
+		if ev.Ph == "M" && ev.Pid == 2 && ev.Args["name"] == "exec1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("remote lane metadata missing: %+v", evs)
+	}
+}
+
+func TestIngestSkipsOwnDump(t *testing.T) {
+	tr := NewTracer()
+	b := tr.NewBuf(1, "w")
+	b.End("s", "test", time.Now())
+	before := len(tr.Events())
+	d := tr.Dump()
+	tr.Ingest(d, 0)
+	if got := len(tr.Events()); got != before {
+		t.Fatalf("self-ingest grew events %d -> %d", before, got)
+	}
+	if tr.RemoteLanes() != 0 {
+		t.Fatalf("self-ingest created %d remote lanes", tr.RemoteLanes())
+	}
+}
+
+func TestIngestReusesLanesAcrossDumps(t *testing.T) {
+	local := NewTracer()
+	remote := NewTracer()
+	b := remote.NewBuf(3, "exec2")
+
+	b.End("s1", "test", time.Now())
+	local.Ingest(remote.Dump(), 0)
+	b.End("s2", "test", time.Now())
+	local.Ingest(remote.Dump(), 0)
+
+	if local.RemoteLanes() != 1 {
+		t.Fatalf("remote lanes = %d, want 1 (incremental dumps share a lane)", local.RemoteLanes())
+	}
+	evs := local.Events()
+	if countEvents(evs, "s1") != 1 || countEvents(evs, "s2") != 1 {
+		t.Fatalf("span duplication across dumps: %+v", evs)
+	}
+	// Both spans share one tid and it does not collide with any local buf.
+	var tid int
+	for _, ev := range evs {
+		if ev.Name == "s1" {
+			tid = ev.Tid
+		}
+	}
+	for _, ev := range evs {
+		if ev.Name == "s2" && ev.Tid != tid {
+			t.Fatalf("lane tids differ: %d vs %d", ev.Tid, tid)
+		}
+	}
+	// Local buffers created after ingest must not collide with the lane.
+	lb := local.NewBuf(1, "late")
+	lb.End("local", "test", time.Now())
+	for _, ev := range local.Events() {
+		if ev.Name == "local" && ev.Tid == tid {
+			t.Fatalf("local buf reused remote lane tid %d", tid)
+		}
+	}
+}

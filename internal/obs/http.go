@@ -1,22 +1,62 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
+
+// MetricsServer is a running metrics endpoint. Close shuts the
+// listener down; earlier versions leaked it for the process lifetime.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down and releases the listener.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+var (
+	reportMu     sync.Mutex
+	reportSource func() []*LoopReport
+)
+
+// SetReportSource installs the callback the /report endpoint uses to
+// fetch the latest LoopReports (the driver session registers itself).
+func SetReportSource(fn func() []*LoopReport) {
+	reportMu.Lock()
+	reportSource = fn
+	reportMu.Unlock()
+}
+
+func currentReport() *ReportDoc {
+	reportMu.Lock()
+	fn := reportSource
+	reportMu.Unlock()
+	doc := &ReportDoc{Peers: Default.PeerTraffic(), Flight: Flight().Events()}
+	if fn != nil {
+		doc.Loops = fn()
+	}
+	return doc
+}
 
 // ServeMetrics starts an HTTP endpoint on addr exposing the default
 // registry at /debug/vars (expvar, including the "orion" map once
-// PublishExpvar has run) and the standard pprof handlers under
-// /debug/pprof/. It returns the bound address (useful with ":0") and
-// serves until the process exits.
-func ServeMetrics(addr string) (string, error) {
+// PublishExpvar has run), the standard pprof handlers under
+// /debug/pprof/, a /healthz liveness probe, and /report serving the
+// latest LoopReports plus peer traffic and the flight-recorder log as
+// JSON. The returned handle's Close releases the listener.
+func ServeMetrics(addr string) (*MetricsServer, error) {
 	PublishExpvar()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -25,9 +65,17 @@ func ServeMetrics(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go func() {
-		srv := &http.Server{Handler: mux}
-		_ = srv.Serve(ln)
-	}()
-	return ln.Addr().String(), nil
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(currentReport())
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{ln: ln, srv: srv}, nil
 }

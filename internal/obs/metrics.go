@@ -237,6 +237,31 @@ func GetHistogram(name string) *Histogram { return Default.GetHistogram(name) }
 // Peer returns per-peer traffic stats from the default registry.
 func Peer(label string) *PeerStats { return Default.GetPeer(label) }
 
+// PeerTraffic is the exportable snapshot of one peer link's counters
+// (the JSON form used by ReportDoc and the /report endpoint).
+type PeerTraffic struct {
+	MsgsSent  int64 `json:"msgs_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+}
+
+// PeerTraffic snapshots every peer link's traffic counters by label.
+func (r *Registry) PeerTraffic() map[string]PeerTraffic {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]PeerTraffic, len(r.peers))
+	for label, p := range r.peers {
+		out[label] = PeerTraffic{
+			MsgsSent:  p.MsgsSent.Value(),
+			MsgsRecv:  p.MsgsRecv.Value(),
+			BytesSent: p.BytesSent.Value(),
+			BytesRecv: p.BytesRecv.Value(),
+		}
+	}
+	return out
+}
+
 // Snapshot returns every metric's current value keyed by name, with
 // peer traffic nested under "peers". Safe for JSON encoding.
 func (r *Registry) Snapshot() map[string]any {

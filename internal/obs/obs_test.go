@@ -263,10 +263,12 @@ func TestLoopReport(t *testing.T) {
 
 func TestServeMetrics(t *testing.T) {
 	Default.GetCounter("test.serve.metric").Add(3)
-	addr, err := ServeMetrics("127.0.0.1:0")
+	srv, err := ServeMetrics("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.Close()
+	addr := srv.Addr()
 	resp, err := http.Get("http://" + addr + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
@@ -296,4 +298,43 @@ func TestServeMetrics(t *testing.T) {
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index status = %d", resp2.StatusCode)
 	}
+
+	// Liveness probe.
+	resp3, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp3.StatusCode)
+	}
+
+	// /report serves the registered LoopReports as JSON.
+	SetReportSource(func() []*LoopReport {
+		return []*LoopReport{{Loop: "unit", Workers: []WorkerStats{{Worker: 0, Iters: 7}}}}
+	})
+	defer SetReportSource(nil)
+	resp4, err := http.Get("http://" + addr + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp4.Body.Close()
+	var doc ReportDoc
+	if err := json.NewDecoder(resp4.Body).Decode(&doc); err != nil {
+		t.Fatalf("/report not JSON: %v", err)
+	}
+	if len(doc.Loops) != 1 || doc.Loops[0].Loop != "unit" || doc.Loops[0].Workers[0].Iters != 7 {
+		t.Fatalf("/report doc = %+v", doc)
+	}
+
+	// Close must release the listener: a second bind to the same
+	// address succeeds afterwards.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := ServeMetrics(addr)
+	if err != nil {
+		t.Fatalf("rebind after Close failed: %v", err)
+	}
+	srv2.Close()
 }

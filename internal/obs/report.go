@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -12,12 +14,12 @@ import (
 // WorkerStats is one worker's accumulated time breakdown for a loop:
 // where its wall-clock went while executing kernel blocks.
 type WorkerStats struct {
-	Worker    int
-	Blocks    int64 // kernel blocks executed
-	Iters     int64 // DSL iterations executed
-	ComputeNs int64 // time inside the kernel function
-	RotWaitNs int64 // blocked waiting for the rotated partition to arrive
-	CommNs    int64 // serialization + sends (rotation send, prefetch, flush)
+	Worker    int   `json:"worker"`
+	Blocks    int64 `json:"blocks"`      // kernel blocks executed
+	Iters     int64 `json:"iters"`       // DSL iterations executed
+	ComputeNs int64 `json:"compute_ns"`  // time inside the kernel function
+	RotWaitNs int64 `json:"rot_wait_ns"` // blocked waiting for the rotated partition to arrive
+	CommNs    int64 `json:"comm_ns"`     // serialization + sends (rotation send, prefetch, flush)
 }
 
 // add merges another sample into the stats.
@@ -32,8 +34,8 @@ func (w *WorkerStats) add(s WorkerStats) {
 // LoopReport is the per-loop execution breakdown the master assembles
 // from executor BlockDone messages.
 type LoopReport struct {
-	Loop    string
-	Workers []WorkerStats // sorted by Worker
+	Loop    string        `json:"loop"`
+	Workers []WorkerStats `json:"workers"` // sorted by Worker
 }
 
 // Add accumulates one worker sample into the report.
@@ -120,3 +122,41 @@ func (r *LoopReport) Render() string {
 // DurationNs is a readability helper for call sites turning a
 // time.Since into report nanoseconds.
 func DurationNs(d time.Duration) int64 { return int64(d) }
+
+// ReportDoc is the machine-readable run report: every loop's worker
+// breakdown, per-peer link traffic, and the flight-recorder event log.
+// orion-run -report-json writes it; orion-trace analyze and the
+// /report HTTP endpoint consume it.
+type ReportDoc struct {
+	Loops  []*LoopReport          `json:"loops"`
+	Peers  map[string]PeerTraffic `json:"peers,omitempty"`
+	Flight []FlightEvent          `json:"flight,omitempty"`
+}
+
+// WriteFile writes the report document as indented JSON.
+func (d *ReportDoc) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReportDoc loads a report document written by WriteFile.
+func ReadReportDoc(path string) (*ReportDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d ReportDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

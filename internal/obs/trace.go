@@ -31,20 +31,47 @@ import (
 const DefaultBufCap = 1 << 14
 
 // Tracer collects spans from a set of per-goroutine ring buffers and
-// renders them as one Chrome trace-event JSON document.
+// renders them as one Chrome trace-event JSON document. A tracer also
+// carries a process-unique identity and its start wall clock so dumps
+// shipped from other processes can be aligned onto its timeline (see
+// Dump/Ingest in dump.go).
 type Tracer struct {
-	start  time.Time
-	bufCap int
+	start     time.Time
+	startUnix int64 // wall clock at start, unix nanoseconds
+	id        int64
+	bufCap    int
 
-	mu   sync.Mutex
-	bufs []*TraceBuf
+	mu     sync.Mutex
+	tidSeq int
+	bufs   []*TraceBuf
+	remote []*remoteLane
 }
+
+// tracerSeq disambiguates tracers created in the same process; the pid
+// component disambiguates across processes on one machine.
+var tracerSeq atomic.Int64
 
 // NewTracer creates an empty tracer. Timestamps in the emitted trace
 // are microseconds since this call (monotonic clock).
 func NewTracer() *Tracer {
-	return &Tracer{start: time.Now(), bufCap: DefaultBufCap}
+	now := time.Now()
+	return &Tracer{
+		start:     now,
+		startUnix: now.UnixNano(),
+		id:        int64(os.Getpid())<<40 ^ now.UnixNano() ^ tracerSeq.Add(1),
+		bufCap:    DefaultBufCap,
+	}
 }
+
+// ID is the tracer's process-unique identity. Trace-collection uses it
+// to recognise (and skip) a dump that came from the tracer itself —
+// in-process executors share the master's tracer, so their spans are
+// already local.
+func (t *Tracer) ID() int64 { return t.id }
+
+// StartUnixNs is the wall clock at tracer creation in unix nanoseconds.
+// Remote span timestamps are aligned relative to it.
+func (t *Tracer) StartUnixNs() int64 { return t.startUnix }
 
 // SetBufCap changes the ring capacity used for buffers created after
 // the call (tests shrink it to exercise wrap-around).
@@ -73,6 +100,10 @@ func StopTracing() *Tracer { return global.Swap(nil) }
 // Tracing reports whether a global tracer is installed.
 func Tracing() bool { return global.Load() != nil }
 
+// CurrentTracer returns the installed global tracer, nil when tracing
+// is disabled.
+func CurrentTracer() *Tracer { return global.Load() }
+
 // NewBuf returns a span buffer registered with the global tracer for
 // one goroutine (pid groups related buffers — e.g. one worker process —
 // and name labels the thread track). Returns nil when tracing is
@@ -92,7 +123,8 @@ func (t *Tracer) NewBuf(pid int, name string) *TraceBuf {
 	}
 	b := &TraceBuf{tracer: t, pid: pid, name: name, evs: make([]span, t.bufCap)}
 	t.mu.Lock()
-	b.tid = len(t.bufs) + 1
+	t.tidSeq++
+	b.tid = t.tidSeq
 	t.bufs = append(t.bufs, b)
 	t.mu.Unlock()
 	return b
@@ -122,8 +154,10 @@ type TraceBuf struct {
 
 	mu      sync.Mutex
 	evs     []span
-	head    int // next write slot
-	n       int // live span count
+	head    int   // next write slot
+	n       int   // live span count
+	total   int64 // spans ever recorded (monotonic)
+	dumped  int64 // spans already exported by Dump (sequence number)
 	dropped int64
 }
 
@@ -186,6 +220,7 @@ func (b *TraceBuf) record(s span) {
 	b.mu.Lock()
 	b.evs[b.head] = s
 	b.head = (b.head + 1) % len(b.evs)
+	b.total++
 	if b.n < len(b.evs) {
 		b.n++
 	} else {
@@ -208,11 +243,18 @@ type TraceEvent struct {
 	Args  map[string]any `json:"args,omitempty"`
 }
 
-// Events snapshots every buffer's spans as trace events sorted by
-// timestamp (metadata thread-name events first).
+// Events snapshots every buffer's spans — local rings and ingested
+// remote lanes alike — as trace events sorted by timestamp (metadata
+// thread-name events first).
 func (t *Tracer) Events() []TraceEvent {
 	t.mu.Lock()
 	bufs := append([]*TraceBuf(nil), t.bufs...)
+	// Snapshot lane slice headers under the lock: Ingest appends under
+	// the same lock, so the [0,len) prefix captured here is immutable.
+	remote := make([]remoteLane, len(t.remote))
+	for i, l := range t.remote {
+		remote[i] = *l
+	}
 	t.mu.Unlock()
 
 	var out []TraceEvent
@@ -250,13 +292,34 @@ func (t *Tracer) Events() []TraceEvent {
 		}
 		b.mu.Unlock()
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Ph == "M" != (out[j].Ph == "M") {
-			return out[i].Ph == "M"
+	for _, l := range remote {
+		out = append(out, TraceEvent{
+			Name: "thread_name", Ph: "M", Pid: l.pid, Tid: l.tid,
+			Args: map[string]any{"name": l.name},
+		})
+		out = append(out, l.spans...)
+		if l.dropped > 0 {
+			out = append(out, TraceEvent{
+				Name: "spans_dropped", Ph: "i", Ts: float64(time.Since(t.start)) / 1e3,
+				Pid: l.pid, Tid: l.tid, Scope: "t",
+				Args: map[string]any{"count": l.dropped},
+			})
 		}
-		return out[i].Ts < out[j].Ts
-	})
+	}
+	SortEvents(out)
 	return out
+}
+
+// SortEvents orders a trace for rendering: metadata ("M") events
+// first so viewers name lanes before drawing spans, then by timestamp.
+// The sort is stable, so equal-timestamp spans keep insertion order.
+func SortEvents(evs []TraceEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ph == "M" != (evs[j].Ph == "M") {
+			return evs[i].Ph == "M"
+		}
+		return evs[i].Ts < evs[j].Ts
+	})
 }
 
 // WriteJSON emits the Chrome trace-event document

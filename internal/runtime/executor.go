@@ -234,11 +234,21 @@ func (e *Executor) run() error {
 	if setup.Kind != MsgSetup {
 		return fmt.Errorf("runtime: executor %d: expected setup, got %v", e.id, setup.Kind)
 	}
+	if setup.Trace && !obs.Tracing() {
+		// The master is tracing: enable tracing in this process so the
+		// span rings exist when it collects them. In-process executors
+		// share the master's already-installed tracer and skip this.
+		obs.StartTracing()
+		e.trace = nil // re-created below against the fresh tracer
+	}
 	if setup.ExecutorID != e.id {
 		// Master-assigned id (hello carried -1, or a re-formed fleet
 		// renumbered the survivors).
 		e.id = setup.ExecutorID
 		e.shards.selfID = e.id
+		e.trace = obs.NewBuf(e.id+1, fmt.Sprintf("exec%d", e.id))
+	}
+	if e.trace == nil && obs.Tracing() {
 		e.trace = obs.NewBuf(e.id+1, fmt.Sprintf("exec%d", e.id))
 	}
 	n := setup.NumExecs
@@ -334,6 +344,16 @@ func (e *Executor) run() error {
 		case MsgAccumQuery:
 			v := e.ctx.accums[msg.AccName]
 			if err := e.master.send(&Msg{Kind: MsgAccumResp, ExecutorID: e.id, AccName: msg.AccName, AccValue: v}); err != nil {
+				return err
+			}
+		case MsgTraceSync:
+			// Clock-sync handshake: echo the master's T0, stamp our
+			// wall clock as late as possible before the send.
+			if err := e.master.send(&Msg{Kind: MsgTraceSync, ExecutorID: e.id, T0: msg.T0, T1: time.Now().UnixNano()}); err != nil {
+				return err
+			}
+		case MsgTraceDump:
+			if err := e.master.send(e.traceDump(msg.TracerID)); err != nil {
 				return err
 			}
 		case MsgShutdown:

@@ -35,6 +35,7 @@ type masterChans struct {
 	gatherResp chan *Msg
 	accumResp  chan *Msg
 	ackCh      chan *Msg
+	traceCh    chan *Msg
 	execErr    chan error
 }
 
@@ -44,6 +45,10 @@ func newMasterChans(n int) *masterChans {
 		gatherResp: make(chan *Msg, n),
 		accumResp:  make(chan *Msg, n),
 		ackCh:      make(chan *Msg, n),
+		// Trace collection is sequential (one outstanding request per
+		// executor), but a timed-out response may arrive late; 2n slots
+		// keep handlers from ever blocking on stale replies.
+		traceCh: make(chan *Msg, 2*n),
 		// Each connection can contribute both a MsgError and a
 		// connection-loss error; size the buffer so handlers never block.
 		execErr: make(chan error, 2*n),
@@ -212,7 +217,7 @@ func (m *Master) WaitForExecutors() error {
 	}
 	m.peers = peers
 	for id, c := range m.conns {
-		if err := c.send(&Msg{Kind: MsgSetup, ExecutorID: id, Peers: peers, NumExecs: n, HeartbeatMs: defaultHeartbeatMs}); err != nil {
+		if err := c.send(&Msg{Kind: MsgSetup, ExecutorID: id, Peers: peers, NumExecs: n, HeartbeatMs: defaultHeartbeatMs, Trace: obs.Tracing()}); err != nil {
 			return err
 		}
 		go m.handleConn(id, c, m.ch, m.lastSeen[id])
@@ -248,6 +253,13 @@ func (m *Master) handleConn(id int, c *codec, ch *masterChans, seen *atomic.Int6
 			ch.accumResp <- msg
 		case MsgAck:
 			ch.ackCh <- msg
+		case MsgTraceSync, MsgTraceDump:
+			// Never block on a stale reply: the collector may have
+			// timed out and moved on, leaving the buffer full.
+			select {
+			case ch.traceCh <- msg:
+			default:
+			}
 		case MsgPrefetch:
 			m.mu.Lock()
 			arr := m.served[msg.Array]
@@ -458,6 +470,11 @@ func (m *Master) ParallelFor(def LoopDef) error {
 				}
 				if err := m.conns[j].send(msg); err != nil {
 					m.trace.EndNN("clock.step", "master", stepStart, "pass", int64(pass), "step", int64(step))
+					obs.Flight().Record(obs.FlightEvent{
+						Kind: "worker.lost", Clock: m.clock.Load(),
+						Loop: def.Kernel, Pass: pass, Step: step, Worker: j,
+						Detail: err.Error(),
+					})
 					return fmt.Errorf("runtime: dispatch to executor %d failed (%v): %w", j, err, ErrWorkerLost)
 				}
 			}
@@ -465,6 +482,13 @@ func (m *Master) ParallelFor(def LoopDef) error {
 				// End the span on the failure path too — a trace that
 				// loses exactly the failing step is useless.
 				m.trace.EndNN("clock.step", "master", stepStart, "pass", int64(pass), "step", int64(step))
+				if errors.Is(err, ErrWorkerLost) {
+					obs.Flight().Record(obs.FlightEvent{
+						Kind: "worker.lost", Clock: m.clock.Load(),
+						Loop: def.Kernel, Pass: pass, Step: step, Worker: -1,
+						Detail: err.Error(),
+					})
+				}
 				return err
 			}
 			m.clock.Add(1)
@@ -569,6 +593,26 @@ func (m *Master) CombinedReport() *obs.LoopReport {
 	}
 	for _, name := range names {
 		out.Merge(m.reports[name])
+	}
+	return out
+}
+
+// AllReports returns a copy of every loop's execution report, sorted
+// by loop name (the machine-readable export behind orion-run
+// -report-json and the /report endpoint).
+func (m *Master) AllReports() []*obs.LoopReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.reports))
+	for name := range m.reports {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*obs.LoopReport, 0, len(names))
+	for _, name := range names {
+		r := &obs.LoopReport{Loop: name}
+		r.Merge(m.reports[name])
+		out = append(out, r)
 	}
 	return out
 }

@@ -67,6 +67,18 @@ const (
 	// master refreshes the sender's liveness timestamp on receipt (as it
 	// does for every message).
 	MsgPing
+	// MsgTraceSync: master ↔ executor clock-offset handshake. The
+	// request carries the master's wall clock in T0 (unix nanoseconds);
+	// the reply echoes T0 and adds the executor's wall clock in T1. The
+	// master applies the midpoint method over several pings to estimate
+	// the per-worker clock offset used when merging shipped spans.
+	MsgTraceSync
+	// MsgTraceDump: master → executor request for the executor's
+	// not-yet-shipped trace spans (TracerID identifies the master's
+	// tracer so in-process executors sharing it reply empty); the
+	// executor → master reply carries a gob-encoded obs.TraceDump in
+	// TraceBlob.
+	MsgTraceDump
 )
 
 // Msg is the single wire message type (gob encodes nil/zero fields
@@ -157,6 +169,17 @@ type Msg struct {
 	// recovery path can distinguish transport loss from program bugs.
 	Err  string
 	Lost bool
+
+	// Trace collection. Trace (in MsgSetup) tells a worker process to
+	// enable span tracing so its rings can be collected later. T0/T1
+	// carry the clock-sync handshake timestamps (unix nanoseconds),
+	// TracerID identifies a tracer across processes, and TraceBlob is a
+	// gob-encoded obs.TraceDump.
+	Trace     bool
+	T0        int64
+	T1        int64
+	TracerID  int64
+	TraceBlob []byte
 }
 
 // reset clears a Msg for reuse while keeping the backing storage of the

@@ -98,6 +98,11 @@ func (m *Master) writeCheckpoint(def LoopDef, pass, step, steps int) error {
 	bytes = written
 	obs.GetCounter("checkpoint.writes").Inc()
 	obs.GetCounter("checkpoint.bytes").Add(bytes)
+	obs.Flight().Record(obs.FlightEvent{
+		Kind: "ckpt.write", Clock: man.Clock,
+		Loop: def.Kernel, Pass: resumePass, Step: resumeStep, Worker: -1,
+		Detail: fmt.Sprintf("%d bytes", bytes),
+	})
 	return nil
 }
 
@@ -214,6 +219,13 @@ collect:
 			len(joined), want, wait, ErrWorkerLost)
 	}
 	n := len(joined)
+	if n < want {
+		obs.Flight().Record(obs.FlightEvent{
+			Kind: "fleet.shrink", Clock: m.clock.Load(),
+			Pass: -1, Step: -1, Worker: -1,
+			Detail: fmt.Sprintf("%d of %d workers rejoined", n, want),
+		})
+	}
 	m.n = n
 	m.conns = make([]*codec, n)
 	m.peers = make([]string, n)
@@ -224,9 +236,14 @@ collect:
 		j.c.stats = obs.Peer(fmt.Sprintf("master/exec%d", id))
 		m.conns[id] = j.c
 		m.peers[id] = j.peerAddr
+		obs.Flight().Record(obs.FlightEvent{
+			Kind: "worker.rejoin", Clock: m.clock.Load(),
+			Pass: -1, Step: -1, Worker: id,
+			Detail: j.peerAddr,
+		})
 	}
 	for id, c := range m.conns {
-		if err := c.send(&Msg{Kind: MsgSetup, ExecutorID: id, Peers: m.peers, NumExecs: n, HeartbeatMs: defaultHeartbeatMs}); err != nil {
+		if err := c.send(&Msg{Kind: MsgSetup, ExecutorID: id, Peers: m.peers, NumExecs: n, HeartbeatMs: defaultHeartbeatMs, Trace: obs.Tracing()}); err != nil {
 			return 0, fmt.Errorf("runtime: recovery setup to executor %d: %w", id, err)
 		}
 		go m.handleConn(id, c, m.ch, m.lastSeen[id])
