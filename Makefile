@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race chaos bench-smoke trace-smoke vet-examples fuzz bench-baseline bench-obs bench-vm bench-transport golden-plans golden-plans-check
+.PHONY: check fmt vet lint build test race chaos bench-smoke trace-smoke adapt-smoke vet-examples fuzz bench-baseline bench-obs bench-vm bench-transport golden-plans golden-plans-check
 
-check: fmt vet lint build test race chaos bench-smoke trace-smoke golden-plans-check
+check: fmt vet lint build test race chaos bench-smoke trace-smoke adapt-smoke golden-plans-check
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -62,6 +62,14 @@ trace-smoke:
 	$(GO) run ./cmd/orion-trace analyze -report "$$dir/report.json" "$$dir/trace.json" && \
 	$(GO) run ./cmd/orion-trace top -n 5 "$$dir/trace.json" && \
 	test -s "$$dir/flight.jsonl"
+
+# Adaptive re-planning smoke: a synthetic straggler (worker 0 padded
+# 200µs per iteration) must trip a mid-run recut that cuts the measured
+# compute-skew index by >= 30% by the last boundary — orion-run exits
+# non-zero otherwise.
+adapt-smoke:
+	$(GO) run ./cmd/orion-run -engine dsl -app mf -workers 3 -passes 5 \
+		-adapt -adapt-skew 2 -skew-demo 200 -adapt-assert-drop 0.3
 
 # Regenerate the committed interp-vs-compiled kernel baseline.
 bench-baseline:

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"orion/internal/check"
 	"orion/internal/data"
@@ -96,6 +97,12 @@ type dslConfig struct {
 	ReportJSON string // write the machine-readable report document here
 	CkptDir    string
 	CkptEvery  int64
+
+	Adapt      bool    // adaptive re-planning at pass boundaries
+	AdaptSkew  float64 // recut trigger (0 = analyzer default)
+	SkewDemoUS float64 // synthetic straggler: µs/iteration delay on worker 0
+	AssertDrop float64 // required fractional skew drop after a recut (0 = off)
+	Grow       int     // grow the fleet to this size at the first boundary
 }
 
 // runDSL trains an application written purely in Orion's DSL on the
@@ -151,6 +158,26 @@ func runDSL(cfg dslConfig) error {
 	}
 	sess.SetCheckpointDir(cfg.CkptDir)
 	sess.SetCheckpointEvery(cfg.CkptEvery)
+	if cfg.Adapt {
+		sess.SetAdapt(cfg.AdaptSkew)
+	}
+	if cfg.SkewDemoUS > 0 {
+		// Synthetic straggler: pad worker 0's compute per iteration, so
+		// the adaptive trigger has honest (measured) skew to react to.
+		perIter := time.Duration(cfg.SkewDemoUS * float64(time.Microsecond))
+		runtime.SetBlockDelay(func(execID, iters int) time.Duration {
+			if execID == 0 {
+				return time.Duration(iters) * perIter
+			}
+			return 0
+		})
+		defer runtime.SetBlockDelay(nil)
+	}
+	if cfg.Grow > 0 {
+		if err := sess.Grow(cfg.Grow); err != nil {
+			return err
+		}
+	}
 
 	var (
 		src        string
@@ -274,11 +301,27 @@ func runDSL(cfg dslConfig) error {
 	}
 	fmt.Printf("dsl on %s: %d workers, %d passes, %s backend\n", app, workers, passes, chosen)
 	fmt.Printf("%-6s  %-14s\n", "pass", metricName)
-	for p := 1; p <= passes; p++ {
-		if _, err := sess.ParallelFor(src); err != nil {
+	if cfg.Adapt || cfg.Grow > 0 {
+		// Adaptive re-planning and elastic grow trigger at the loop
+		// boundaries *inside* one ParallelFor, so the passes run as a
+		// single multi-pass loop instead of one call per pass.
+		if _, err := sess.ParallelFor(src, driver.Passes(passes)); err != nil {
 			return renderWorkerLost(os.Stderr, app, src, err)
 		}
-		fmt.Printf("%-6d  %-14.6g\n", p, metric())
+		fmt.Printf("%-6d  %-14.6g\n", passes, metric())
+		if cfg.Grow > 0 {
+			fmt.Printf("fleet: %d workers\n", sess.Workers())
+		}
+		if err := reportAdaptTrail(os.Stdout, sess, cfg.AssertDrop); err != nil {
+			return err
+		}
+	} else {
+		for p := 1; p <= passes; p++ {
+			if _, err := sess.ParallelFor(src); err != nil {
+				return renderWorkerLost(os.Stderr, app, src, err)
+			}
+			fmt.Printf("%-6d  %-14.6g\n", p, metric())
+		}
 	}
 	if d := sess.Diagnostics().First(diag.CodeBackend); d != nil {
 		fmt.Println(d.Message)
@@ -288,6 +331,48 @@ func runDSL(cfg dslConfig) error {
 			fmt.Println()
 			fmt.Print(r.Render())
 		}
+	}
+	return nil
+}
+
+// reportAdaptTrail prints the adaptive re-planning decisions — one per
+// evaluated pass boundary — and, when assertDrop > 0, fails unless the
+// first recut cut the skew index by at least that fraction by the last
+// boundary (the adapt-smoke gate).
+func reportAdaptTrail(w io.Writer, sess *driver.Session, assertDrop float64) error {
+	trail := sess.AdaptTrail()
+	if len(trail) == 0 {
+		if assertDrop > 0 {
+			return fmt.Errorf("adapt: no boundaries evaluated (a recut needs at least 2 passes)")
+		}
+		return nil
+	}
+	fmt.Fprintf(w, "\nadaptive re-planning trail (skew = max/median segment compute):\n")
+	firstRecut := -1
+	for i, d := range trail {
+		action := "kept cuts"
+		if d.Recut {
+			action = "recut partitions"
+			if firstRecut < 0 {
+				firstRecut = i
+			}
+		}
+		fmt.Fprintf(w, "  boundary at pass %-3d  skew %-6.2f  %s\n", d.Pass, d.SkewIndex, action)
+	}
+	if assertDrop <= 0 {
+		return nil
+	}
+	if firstRecut < 0 {
+		return fmt.Errorf("adapt: skew never reached the recut threshold")
+	}
+	if firstRecut == len(trail)-1 {
+		return fmt.Errorf("adapt: recut fell on the last boundary; no post-recut segment to judge (add passes)")
+	}
+	pre, post := trail[firstRecut].SkewIndex, trail[len(trail)-1].SkewIndex
+	drop := 1 - post/pre
+	fmt.Fprintf(w, "skew %.2fx -> %.2fx across the recut (%.0f%% drop)\n", pre, post, drop*100)
+	if drop < assertDrop {
+		return fmt.Errorf("adapt: skew dropped %.0f%%, below the required %.0f%%", drop*100, assertDrop*100)
 	}
 	return nil
 }

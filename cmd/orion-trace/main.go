@@ -176,6 +176,7 @@ func cmdAnalyze(args []string) error {
 	if len(doc.Flight) > 0 {
 		fmt.Printf("\nflight log: %d events (last kind %s at clock %d)\n",
 			len(doc.Flight), doc.Flight[len(doc.Flight)-1].Kind, doc.Flight[len(doc.Flight)-1].Clock)
+		printReconfigurations(doc.Flight)
 	}
 
 	if *weightsOut != "" {
@@ -189,6 +190,28 @@ func cmdAnalyze(args []string) error {
 		fmt.Printf("weight profile for loop %s written to %s\n", prof.Loop, *weightsOut)
 	}
 	return nil
+}
+
+// printReconfigurations surfaces fleet-reconfiguration events from the
+// flight log — adaptive recuts, elastic grows, checkpoint restores —
+// keyed by (loop, clock, pass, step), so a stall visible in the merged
+// timeline can be attributed to the reconfiguration that caused it.
+func printReconfigurations(events []obs.FlightEvent) {
+	var recon []obs.FlightEvent
+	for _, ev := range events {
+		switch ev.Kind {
+		case "plan.recut", "fleet.grow", "fleet.shrink", "ckpt.restore":
+			recon = append(recon, ev)
+		}
+	}
+	if len(recon) == 0 {
+		return
+	}
+	fmt.Printf("reconfigurations: %d\n", len(recon))
+	for _, ev := range recon {
+		fmt.Printf("  %-12s  loop %-24s  clock %-6d  pass %-4d step %-4d  %s\n",
+			ev.Kind, ev.Loop, ev.Clock, ev.Pass, ev.Step, ev.Detail)
+	}
 }
 
 // pickWeights picks the profile to export: the most skewed loop's when

@@ -62,6 +62,7 @@ func main() {
 		peer      = flag.String("peer", "", "this worker's ring endpoint (host:port; use :0 for an ephemeral port)")
 		id        = flag.Int("id", -1, "executor id (0..n-1); -1 lets the master assign one")
 		rejoin    = flag.Bool("rejoin", false, "reconnect and re-register when the master connection drops (recovery)")
+		rejoinTO  = flag.Duration("rejoin-timeout", 0, "give up rejoining this long after the connection drop (0 keeps trying forever)")
 		ioTimeout = flag.Duration("io-timeout", 0, "per-write network deadline (0 disables); turns a wedged peer into a prompt error")
 		metrics   = flag.String("metrics-addr", "", "serve runtime metrics (/debug/vars) and profiling (/debug/pprof/) on this address")
 	)
@@ -85,12 +86,19 @@ func main() {
 		tr = runtime.Deadline{Inner: tr, Write: *ioTimeout}
 	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	// Rejoin state: the pause before re-registering doubles on every
+	// consecutive failed cycle (capped at dialMax) and resets once a
+	// session actually registers and runs; the -rejoin-timeout window is
+	// measured from the most recent loss.
+	rejoinDelay := dialBase
+	var lostAt time.Time
 	for {
 		e, err := connect(tr, *master, *peer, *id, rng)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "orion-worker:", err)
 			os.Exit(1)
 		}
+		sessionStart := time.Now()
 		err = <-e.Start()
 		if err == nil {
 			return // clean shutdown handshake
@@ -99,11 +107,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "orion-worker:", err)
 			os.Exit(1)
 		}
+		// A session that outlived the backoff cap registered and did
+		// work, so this loss is a fresh incident: backoff and the
+		// rejoin window both start over.
+		if lostAt.IsZero() || time.Since(sessionStart) > dialMax {
+			lostAt = time.Now()
+			rejoinDelay = dialBase
+		}
+		if *rejoinTO > 0 && time.Since(lostAt) > *rejoinTO {
+			fmt.Fprintf(os.Stderr, "orion-worker: master connection lost (%v); rejoin window %v exhausted\n", err, *rejoinTO)
+			os.Exit(1)
+		}
 		// A lost master mid-loop: the master may be re-forming the
 		// fleet — re-register (the master assigns our slot) after a
-		// jittered pause so survivors don't stampede the fresh listener.
-		fmt.Fprintf(os.Stderr, "orion-worker: master connection lost (%v); rejoining\n", err)
-		time.Sleep(time.Duration(float64(dialBase) * (0.75 + 0.5*rng.Float64())))
+		// jittered exponential pause so survivors neither stampede the
+		// fresh listener nor hammer a master that stays down.
+		jitter := time.Duration(float64(rejoinDelay) * (0.75 + 0.5*rng.Float64()))
+		fmt.Fprintf(os.Stderr, "orion-worker: master connection lost (%v); rejoining in %v\n", err, jitter)
+		time.Sleep(jitter)
+		if rejoinDelay *= 2; rejoinDelay > dialMax {
+			rejoinDelay = dialMax
+		}
 		*id = -1 // our old slot may be renumbered; let the master assign
 	}
 }

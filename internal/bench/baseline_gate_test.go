@@ -117,6 +117,16 @@ func TestObsBaselineThresholds(t *testing.T) {
 			t.Errorf("baseline is missing the %s primitive (regenerate with `make bench-obs`)", op)
 		}
 	}
+	// The adaptive-reconfiguration recut runs at loop-boundary rate
+	// (seconds apart), so its budget is latency, not allocations: a
+	// 4096-coordinate 2D recut must stay under 2ms, which catches a
+	// histogram re-balance that silently becomes superlinear.
+	if d.Recut == nil || d.Recut.NsPerRecut <= 0 {
+		t.Error("baseline is missing the recut latency row (regenerate with `make bench-obs`)")
+	} else if d.Recut.NsPerRecut >= 2e6 {
+		t.Errorf("mid-run recut latency %.0f µs for %d coords, budget is < 2000 µs",
+			d.Recut.NsPerRecut/1e3, d.Recut.SpaceCoords)
+	}
 }
 
 // newVMKernel builds a bound VM kernel for one of the obsKernels

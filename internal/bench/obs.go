@@ -9,10 +9,14 @@ import (
 	"path/filepath"
 	"testing"
 
+	"orion/internal/dep"
 	"orion/internal/dsm"
+	"orion/internal/ir"
 	"orion/internal/lang"
 	"orion/internal/metrics"
 	"orion/internal/obs"
+	"orion/internal/plan"
+	"orion/internal/sched"
 )
 
 // The observability-overhead experiment: the cost of the internal/obs
@@ -182,9 +186,21 @@ type obsKernelRow struct {
 	TraceOverheadPct  float64 `json:"trace_overhead_pct"`
 }
 
+// obsRecutRow records the plan-layer cost of one mid-run partition
+// recut — what an adaptive reconfiguration pays at a quiesced loop
+// boundary, on top of the gather/redistribute it shares with every
+// resume.
+type obsRecutRow struct {
+	SpaceCoords int     `json:"space_coords"`
+	TimeCoords  int     `json:"time_coords"`
+	Workers     int     `json:"workers"`
+	NsPerRecut  float64 `json:"ns_per_recut"`
+}
+
 type obsBaseline struct {
 	Description string            `json:"description"`
 	Primitives  []obsPrimitiveRow `json:"primitives"`
+	Recut       *obsRecutRow      `json:"recut,omitempty"`
 	Kernels     []obsKernelRow    `json:"kernels"`
 }
 
@@ -265,6 +281,12 @@ func measureObs(baselinePath string) (*obsBaseline, error) {
 		out.Primitives = append(out.Primitives, obsPrimitiveRow{Op: p.op, NsPerOp: round1(ns), AllocsPerOp: allocs})
 	}
 
+	recut, err := measureRecut()
+	if err != nil {
+		return nil, err
+	}
+	out.Recut = recut
+
 	// Kernel iteration cost: plain (tracing disabled, the production
 	// default) and with a span recorded around every single iteration —
 	// a deliberate worst case, since the runtime spans whole blocks.
@@ -303,6 +325,58 @@ func measureObs(baselinePath string) (*obsBaseline, error) {
 		out.Kernels = append(out.Kernels, row)
 	}
 	return out, nil
+}
+
+// measureRecut times Artifact.Recut on a real 2D artifact built
+// through the planning pipeline, with skewed per-coordinate weights —
+// the histogram re-balancing an adaptive reconfiguration performs at a
+// loop boundary. TestObsBaselineThresholds gates the result, so a
+// recut that silently becomes superlinear fails `make check`.
+func measureRecut() (*obsRecutRow, error) {
+	const coords, workers = 4096, 16
+	spec := &ir.LoopSpec{
+		Name:           "bench_recut",
+		IterSpaceArray: "ratings",
+		Dims:           []int64{coords, coords},
+		Refs: []ir.ArrayRef{
+			{Array: "W", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}},
+			{Array: "H", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}},
+			{Array: "W", Subs: []ir.Subscript{ir.FullRange(), ir.Index(0, 0)}, IsWrite: true},
+			{Array: "H", Subs: []ir.Subscript{ir.FullRange(), ir.Index(1, 0)}, IsWrite: true},
+		},
+	}
+	opts := sched.DefaultOptions()
+	deps, err := dep.Analyze(spec)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := sched.NewFromDeps(spec, deps, opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(41))
+	spaceW := make([]int64, coords)
+	timeW := make([]int64, coords)
+	for i := range spaceW {
+		spaceW[i] = int64(1 + rng.Intn(64))
+		timeW[i] = int64(1 + rng.Intn(64))
+	}
+	art, err := plan.Build(plan.Inputs{
+		Spec: spec, Deps: deps, Plan: pl, Opts: opts,
+		Workers: workers, SpaceWeights: spaceW, TimeWeights: timeW,
+	})
+	if err != nil {
+		return nil, err
+	}
+	digest := plan.WeightsDigest(spaceW, timeW)
+	ns, _ := benchNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := art.Recut(spaceW, timeW, workers, workers, digest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return &obsRecutRow{SpaceCoords: coords, TimeCoords: coords, Workers: workers, NsPerRecut: round1(ns)}, nil
 }
 
 // readKernelBaseline pulls compiled_ns_per_iter per kernel out of
@@ -356,6 +430,10 @@ func ObsOverhead(_ Scale) (*Report, error) {
 		metrics.Table([]string{"op", "ns/op", "allocs/op"}, primRows) +
 		"\ncompiled kernel iteration (per-iteration span = worst case; runtime spans whole blocks):\n" +
 		metrics.Table([]string{"kernel", "ns/iter", "baseline", "regression", "traced ns/iter", "trace cost"}, kernRows)
+	if d.Recut != nil {
+		body += fmt.Sprintf("\nmid-run partition recut (adaptive re-planning, per loop boundary): %.1f µs for %dx%d coords on %d workers\n",
+			d.Recut.NsPerRecut/1e3, d.Recut.SpaceCoords, d.Recut.TimeCoords, d.Recut.Workers)
+	}
 	return &Report{ID: "obs", Title: "observability overhead (tracing off vs on)", Body: body}, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"orion/internal/lang"
 	"orion/internal/lang/vm"
 	"orion/internal/obs"
+	"orion/internal/obs/analyze"
 	"orion/internal/plan"
 	"orion/internal/runtime"
 	"orion/internal/sched"
@@ -83,6 +84,21 @@ type Session struct {
 	generation      atomic.Int64
 	accumBase       map[string]float64
 	recoveries      atomic.Int64
+
+	// Reconfiguration triggers (adapt.go): adaptEnabled/adaptSkew arm
+	// measurement-driven re-cutting at loop boundaries, growTarget arms
+	// an elastic fleet grow, adaptProfile lets tests inject a
+	// deterministic weight profile, and adaptTrail records decisions.
+	// lastSpacePart/lastTimePart stash the executable partitioners of
+	// the most recent attempt, mapping coordinates to the workers that
+	// owned them in the profiled segment.
+	adaptEnabled  bool
+	adaptSkew     float64
+	adaptProfile  func(kernel string, delta *obs.LoopReport) *analyze.WeightProfile
+	adaptTrail    []AdaptDecision
+	growTarget    int
+	lastSpacePart *sched.Partitioner
+	lastTimePart  *sched.Partitioner
 }
 
 var sessionSeq atomic.Int64

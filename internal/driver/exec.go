@@ -18,11 +18,13 @@ import (
 // else is served by the master with synthesized bulk prefetching.
 //
 // Each run* builds an attempt function that distributes state for a
-// resume position and executes from it; runWithRecovery retries the
-// attempt through worker losses when checkpointing is enabled.
+// resume position and executes from it up to a stop boundary;
+// runReconfigurable retries the attempt through worker losses (when
+// checkpointing is enabled) and quiesces at interior boundaries while
+// an adaptive or grow trigger is armed.
 func (s *Session) runTwoD(e *compiledLoop, passes int) error {
 	kernel := s.nextLoopName(e)
-	return s.runWithRecovery(e, kernel, func(start resumePos) ([]string, error) {
+	return s.runReconfigurable(e, kernel, passes, func(start resumePos, stopPass int) ([]string, error) {
 		samples := s.iterSamples(e.spec)
 		spacePart, timePart := s.partitioners(e, samples)
 		// Rotated arrays start at the resume step's ring phase, so a
@@ -45,6 +47,7 @@ func (s *Session) runTwoD(e *compiledLoop, passes int) error {
 			Passes:     passes,
 			StartPass:  start.pass,
 			StartStep:  start.step,
+			StopPass:   stopPass,
 			Checkpoint: s.checkpointSpec(e, gathered),
 		})
 	})
@@ -58,7 +61,7 @@ func (s *Session) runTwoD(e *compiledLoop, passes int) error {
 // the whole execution preserves lexicographic order.
 func (s *Session) runTwoDOrdered(e *compiledLoop, passes int) error {
 	kernel := s.nextLoopName(e)
-	return s.runWithRecovery(e, kernel, func(start resumePos) ([]string, error) {
+	return s.runReconfigurable(e, kernel, passes, func(start resumePos, stopPass int) ([]string, error) {
 		samples := s.iterSamples(e.spec)
 		spacePart, timePart := s.partitioners(e, samples)
 		// Rewrite the plan: rotated arrays become served.
@@ -88,6 +91,7 @@ func (s *Session) runTwoDOrdered(e *compiledLoop, passes int) error {
 			Passes:     passes,
 			StartPass:  start.pass,
 			StartStep:  start.step,
+			StopPass:   stopPass,
 			Checkpoint: s.checkpointSpec(e, gathered),
 		})
 	})
@@ -97,7 +101,7 @@ func (s *Session) runTwoDOrdered(e *compiledLoop, passes int) error {
 // loop: one partition per executor, no rotation.
 func (s *Session) runOneD(e *compiledLoop, passes int) error {
 	kernel := s.nextLoopName(e)
-	return s.runWithRecovery(e, kernel, func(start resumePos) ([]string, error) {
+	return s.runReconfigurable(e, kernel, passes, func(start resumePos, stopPass int) ([]string, error) {
 		samples := s.iterSamples(e.spec)
 		spacePart, _ := s.partitioners(e, samples)
 		gathered, err := s.placeArrays(e.spec, e.plan, spacePart, nil, 0)
@@ -116,6 +120,7 @@ func (s *Session) runOneD(e *compiledLoop, passes int) error {
 			Passes:     passes,
 			StartPass:  start.pass,
 			StartStep:  start.step,
+			StopPass:   stopPass,
 			Checkpoint: s.checkpointSpec(e, gathered),
 		})
 	})
@@ -131,17 +136,11 @@ func (s *Session) runOneD(e *compiledLoop, passes int) error {
 // are re-balanced here (counted as plan.repartition) without
 // re-running analysis or planning.
 func (s *Session) partitioners(e *compiledLoop, samples []runtime.IterSample) (spacePart, timePart *sched.Partitioner) {
-	spaceW := make([]int64, e.spec.Dims[e.plan.SpaceDim])
-	var timeW []int64
-	if e.plan.TimeDim >= 0 {
-		timeW = make([]int64, e.spec.Dims[e.plan.TimeDim])
-	}
-	for _, sm := range samples {
-		spaceW[sm.Key[e.plan.SpaceDim]]++
-		if timeW != nil {
-			timeW[sm.Key[e.plan.TimeDim]]++
-		}
-	}
+	spaceW, timeW := coordCountsOf(e, samples)
+	// Stash whatever partitioners this attempt runs with: the adaptive
+	// trigger maps each coordinate back to the worker that owned it in
+	// the profiled segment through them (adapt.go).
+	defer func() { s.lastSpacePart, s.lastTimePart = spacePart, timePart }()
 
 	if art := e.art; art != nil && !art.Space.IsZero() && art.Space.Parts >= s.n &&
 		art.WeightsDigest == plan.WeightsDigest(spaceW, timeW) {
@@ -162,6 +161,28 @@ func (s *Session) partitioners(e *compiledLoop, samples []runtime.IterSample) (s
 		timePart = plan.BalancedPartitioner(timeW, s.n)
 	}
 	return spacePart, timePart
+}
+
+// coordCounts rebuilds the raw per-coordinate iteration counts of the
+// loop's space/time dimensions from the session's current data — the
+// weights the static pipeline cut from, and the base the adaptive
+// trigger re-weights with measured cost factors.
+func (s *Session) coordCounts(e *compiledLoop) (spaceW, timeW []int64) {
+	return coordCountsOf(e, s.iterSamples(e.spec))
+}
+
+func coordCountsOf(e *compiledLoop, samples []runtime.IterSample) (spaceW, timeW []int64) {
+	spaceW = make([]int64, e.spec.Dims[e.plan.SpaceDim])
+	if e.plan.TimeDim >= 0 {
+		timeW = make([]int64, e.spec.Dims[e.plan.TimeDim])
+	}
+	for _, sm := range samples {
+		spaceW[sm.Key[e.plan.SpaceDim]]++
+		if timeW != nil {
+			timeW[sm.Key[e.plan.TimeDim]]++
+		}
+	}
+	return spaceW, timeW
 }
 
 // iterSamples flattens the iteration-space array into runtime samples.

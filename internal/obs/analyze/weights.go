@@ -34,15 +34,21 @@ type WeightProfile struct {
 }
 
 // Weights extracts the measured cost profile from a loop report (nil
-// when no worker recorded iterations).
+// when the report is nil or no worker is recorded). Workers with no
+// iterations or no measured compute contribute a neutral cost factor
+// of 1, so an empty or zero-duration report can never poison the
+// partitioner with divide-by-zero or NaN weights.
 func Weights(r *obs.LoopReport) *WeightProfile {
+	if r == nil {
+		return nil
+	}
 	p := &WeightProfile{Loop: r.Loop}
 	minCost := math.MaxFloat64
 	for _, w := range r.Workers {
 		c := WorkerCost{Worker: w.Worker, Iters: w.Iters, ComputeNs: w.ComputeNs}
-		if w.Iters > 0 {
+		if w.Iters > 0 && w.ComputeNs > 0 {
 			c.NsPerIter = float64(w.ComputeNs) / float64(w.Iters)
-			if c.NsPerIter > 0 && c.NsPerIter < minCost {
+			if c.NsPerIter < minCost {
 				minCost = c.NsPerIter
 			}
 		}
@@ -65,12 +71,16 @@ func Weights(r *obs.LoopReport) *WeightProfile {
 }
 
 // CostOf returns the measured cost factor for a worker (1.0 when the
-// worker has no measurement).
+// profile is nil, the worker has no measurement, or the recorded
+// factor is degenerate — zero, negative, NaN, or infinite).
 func (p *WeightProfile) CostOf(worker int) float64 {
+	if p == nil {
+		return 1
+	}
 	for _, w := range p.Workers {
 		if w.Worker == worker {
-			if w.CostFactor > 0 {
-				return w.CostFactor
+			if c := w.CostFactor; c > 0 && !math.IsNaN(c) && !math.IsInf(c, 0) {
+				return c
 			}
 			return 1
 		}
@@ -86,6 +96,10 @@ func (p *WeightProfile) CostOf(worker int) float64 {
 // stragglers.
 func (p *WeightProfile) Reweight(coordWeights []int64, owner func(coord int) int) []int64 {
 	out := make([]int64, len(coordWeights))
+	if p == nil {
+		copy(out, coordWeights)
+		return out
+	}
 	for i, w := range coordWeights {
 		scaled := int64(math.Round(float64(w) * p.CostOf(owner(i))))
 		if w > 0 && scaled <= 0 {

@@ -1,0 +1,110 @@
+package analyze
+
+import (
+	"math"
+	"testing"
+
+	"orion/internal/obs"
+)
+
+// A nil or empty report must not produce a profile (and must not
+// panic); the partitioner-facing helpers must stay total on nil.
+func TestWeightsNilAndEmpty(t *testing.T) {
+	if p := Weights(nil); p != nil {
+		t.Fatalf("Weights(nil) = %+v, want nil", p)
+	}
+	if p := Weights(&obs.LoopReport{Loop: "empty"}); p != nil {
+		t.Fatalf("Weights(empty report) = %+v, want nil", p)
+	}
+	var p *WeightProfile
+	if c := p.CostOf(0); c != 1 {
+		t.Fatalf("nil profile CostOf = %v, want 1", c)
+	}
+	in := []int64{3, 0, 7}
+	out := p.Reweight(in, func(int) int { return 0 })
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("nil profile Reweight changed weights: %v -> %v", in, out)
+		}
+	}
+}
+
+// Workers with zero iterations or zero measured compute get a neutral
+// cost factor of 1 — never NaN, Inf, or zero.
+func TestWeightsZeroDurationWorkers(t *testing.T) {
+	r := &obs.LoopReport{Loop: "l"}
+	r.Add(obs.WorkerStats{Worker: 0, Iters: 0, ComputeNs: 0})
+	r.Add(obs.WorkerStats{Worker: 1, Iters: 100, ComputeNs: 0})
+	r.Add(obs.WorkerStats{Worker: 2, Iters: 0, ComputeNs: 5000})
+	p := Weights(r)
+	if p == nil {
+		t.Fatal("Weights returned nil for a populated report")
+	}
+	for _, w := range p.Workers {
+		if math.IsNaN(w.CostFactor) || math.IsInf(w.CostFactor, 0) || w.CostFactor != 1 {
+			t.Fatalf("worker %d cost factor %v, want neutral 1", w.Worker, w.CostFactor)
+		}
+	}
+}
+
+// A genuinely skewed report normalizes to the cheapest worker and the
+// straggler's factor reflects its measured ns/iter ratio.
+func TestWeightsSkewNormalization(t *testing.T) {
+	r := &obs.LoopReport{Loop: "l"}
+	r.Add(obs.WorkerStats{Worker: 0, Iters: 100, ComputeNs: 100_000}) // 1000 ns/iter
+	r.Add(obs.WorkerStats{Worker: 1, Iters: 100, ComputeNs: 300_000}) // 3000 ns/iter
+	p := Weights(r)
+	if got := p.CostOf(0); got != 1 {
+		t.Fatalf("cheapest worker cost %v, want 1", got)
+	}
+	if got := p.CostOf(1); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("straggler cost %v, want 3", got)
+	}
+	if got := p.CostOf(99); got != 1 {
+		t.Fatalf("unknown worker cost %v, want 1", got)
+	}
+}
+
+// CostOf guards against degenerate stored factors (NaN/Inf/negative)
+// that could otherwise poison reweighted partitions.
+func TestCostOfDegenerateFactors(t *testing.T) {
+	p := &WeightProfile{Workers: []WorkerCost{
+		{Worker: 0, CostFactor: math.NaN()},
+		{Worker: 1, CostFactor: math.Inf(1)},
+		{Worker: 2, CostFactor: -2},
+		{Worker: 3, CostFactor: 0},
+	}}
+	for w := 0; w < 4; w++ {
+		if c := p.CostOf(w); c != 1 {
+			t.Fatalf("worker %d degenerate factor returned %v, want 1", w, c)
+		}
+	}
+}
+
+// Reweight scales coordinates by the owner's cost and never rounds a
+// positive weight down to zero.
+func TestReweightScalesByOwner(t *testing.T) {
+	p := &WeightProfile{Workers: []WorkerCost{
+		{Worker: 0, CostFactor: 1},
+		{Worker: 1, CostFactor: 2.5},
+	}}
+	in := []int64{4, 4, 1, 0}
+	owner := func(coord int) int {
+		if coord >= 2 {
+			return 1
+		}
+		return 0
+	}
+	out := p.Reweight(in, owner)
+	want := []int64{4, 4, 3, 0} // round(1*2.5)=3; zero stays zero
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Reweight = %v, want %v", out, want)
+		}
+	}
+	// A tiny positive weight with a tiny cost factor still ends >= 1.
+	q := &WeightProfile{Workers: []WorkerCost{{Worker: 0, CostFactor: 0.001}}}
+	if got := q.Reweight([]int64{1}, func(int) int { return 0 })[0]; got < 1 {
+		t.Fatalf("positive weight collapsed to %d", got)
+	}
+}

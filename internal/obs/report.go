@@ -63,6 +63,34 @@ func (r *LoopReport) Merge(other *LoopReport) {
 	}
 }
 
+// Delta returns a new report holding this report's stats minus a
+// baseline snapshot taken earlier (nil base returns a copy). Reports
+// accumulate for a kernel's whole run, so per-segment analysis — e.g.
+// the driver's adaptive re-planning deciding whether the *last*
+// segment was skewed — subtracts the segment-entry snapshot first.
+// Workers absent from base are included whole; negative components
+// never appear as long as base is a genuine earlier snapshot.
+func (r *LoopReport) Delta(base *LoopReport) *LoopReport {
+	out := &LoopReport{Loop: r.Loop}
+	for _, w := range r.Workers {
+		d := w
+		if base != nil {
+			for _, b := range base.Workers {
+				if b.Worker == w.Worker {
+					d.Blocks -= b.Blocks
+					d.Iters -= b.Iters
+					d.ComputeNs -= b.ComputeNs
+					d.RotWaitNs -= b.RotWaitNs
+					d.CommNs -= b.CommNs
+					break
+				}
+			}
+		}
+		out.Add(d)
+	}
+	return out
+}
+
 // Total returns the sum across workers.
 func (r *LoopReport) Total() WorkerStats {
 	var t WorkerStats

@@ -564,6 +564,47 @@ func materialize(weights []int64, extent int64, parts int) Partition {
 	return Balanced(weights, parts)
 }
 
+// Recut re-materializes the artifact's space/time partitions from new
+// per-coordinate weights onto a (possibly different) fleet size,
+// leaving every planning decision — strategy, dimensions, placements,
+// guard, content hash — untouched. This is the feedback half of
+// measurement-driven re-planning: the driver re-weights the original
+// iteration counts by a measured WeightProfile and recuts mid-run, so
+// the artifact's cuts track observed load without re-running analysis.
+// digest becomes the artifact's WeightsDigest; pass the digest of the
+// *raw* iteration counts so consumers that revalidate cuts against
+// current data (the driver's partitioner reuse check) adopt the new
+// cuts.
+func (a *Artifact) Recut(spaceW, timeW []int64, workers, timeParts int, digest string) (*Artifact, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("plan: recut needs a positive worker count")
+	}
+	k, err := a.Kind()
+	if err != nil {
+		return nil, err
+	}
+	out := *a
+	out.Workers = workers
+	switch k {
+	case sched.Independent, sched.OneD:
+		out.Space = materialize(spaceW, a.Space.Extent, workers)
+	case sched.TwoD:
+		out.TimeParts = timeParts
+		if out.TimeParts <= 0 {
+			out.TimeParts = workers
+		}
+		out.Space = materialize(spaceW, a.Space.Extent, workers)
+		out.Time = materialize(timeW, a.Time.Extent, out.TimeParts)
+	default:
+		return nil, fmt.Errorf("plan: cannot recut a %s artifact", a.Strategy)
+	}
+	out.WeightsDigest = digest
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Describe renders the artifact for human inspection (orion-plan show):
 // the Fig. 6 trail plus the materialized partition cuts.
 func (a *Artifact) Describe() string {

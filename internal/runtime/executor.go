@@ -557,6 +557,11 @@ func (e *Executor) execBlock(msg *Msg, n int) error {
 	if kerr != nil {
 		return kerr
 	}
+	// Synthetic straggler injection (SetBlockDelay): sleep inside the
+	// compute-timing window so the skew is visible to LoopReports.
+	if d := blockDelay(e.id, len(block)); d > 0 {
+		time.Sleep(d)
+	}
 	computeNs := int64(time.Since(kernelStart))
 	e.trace.EndN("exec.kernel", "exec", kernelStart, "iters", int64(len(block)))
 

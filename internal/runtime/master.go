@@ -397,6 +397,12 @@ type LoopDef struct {
 	Ordered bool
 	// Passes is the number of full data passes.
 	Passes int
+	// StopPass, when > 0, stops execution at that pass boundary
+	// (exclusive: passes [StartPass, StopPass) run) instead of running
+	// to Passes. The driver's reconfiguration layer uses it to quiesce
+	// the loop one segment at a time — re-cutting partitions or
+	// re-forming the fleet between segments — and resume with StartPass.
+	StopPass int
 	// StartPass/StartStep resume execution mid-loop: the first executed
 	// step is (StartPass, StartStep). Zero values run the loop from the
 	// beginning. The caller must have distributed array state matching
@@ -415,6 +421,9 @@ func (m *Master) ParallelFor(def LoopDef) error {
 	passes := def.Passes
 	if passes <= 0 {
 		passes = 1
+	}
+	if def.StopPass > 0 && def.StopPass < passes {
+		passes = def.StopPass
 	}
 	for pass := def.StartPass; pass < passes; pass++ {
 		steps := m.n
