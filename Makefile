@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint build test race chaos bench-smoke trace-smoke adapt-smoke vet-examples fuzz bench-baseline bench-obs bench-vm bench-transport golden-plans golden-plans-check
+.PHONY: check fmt vet lint build test race chaos soak bench-smoke trace-smoke adapt-smoke vet-examples fuzz bench-baseline bench-obs bench-vm bench-transport golden-plans golden-plans-check
 
 check: fmt vet lint build test race chaos bench-smoke trace-smoke adapt-smoke golden-plans-check
 
@@ -40,6 +40,15 @@ race:
 # bitwise comparison against fault-free runs — under the race detector.
 chaos:
 	$(GO) test -race -run 'Chaos' ./internal/runtime ./internal/driver
+
+# The long randomized chaos soak: MF and LDA under seeded random fault
+# schedules mixing all seven fault kinds (sever, delay, corrupt,
+# truncate, duplicate, reorder, and checkpoint-time loss), every
+# schedule asserted bitwise-identical to its fault-free run. A bounded
+# two-seed variant runs inside `test` and `chaos`; this target unlocks
+# the full seed sweep.
+soak:
+	ORION_SOAK=1 $(GO) test -race -run 'ChaosSoak' -v ./internal/driver
 
 # One iteration of every benchmark — catches bit-rotted benchmark code
 # without paying for real measurement. internal/bench also carries the
@@ -109,10 +118,13 @@ golden-plans-check:
 
 # Short fuzzing sessions over the DSL front end, the plan-artifact
 # decoders, the symbolic dependence tier (soundness vs the brute-force
-# oracle), and the three-way interp/closure/VM execution differential.
+# oracle), the three-way interp/closure/VM execution differential, and
+# the wire-frame decoder (hostile header claims must condemn the link,
+# never crash or over-allocate).
 fuzz:
 	$(GO) test ./internal/lang -fuzz 'FuzzParse$$' -fuzztime 30s
 	$(GO) test ./internal/lang -fuzz FuzzParseProgram -fuzztime 30s
 	$(GO) test ./internal/plan -fuzz FuzzDecodeArtifact -fuzztime 30s
 	$(GO) test ./internal/dep -fuzz FuzzRangeAnalysis -fuzztime 30s
 	$(GO) test ./internal/lang/vm -fuzz FuzzExecDifferential -fuzztime 30s
+	$(GO) test ./internal/runtime -fuzz FuzzDecodeFrame -fuzztime 30s

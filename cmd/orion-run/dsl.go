@@ -103,6 +103,8 @@ type dslConfig struct {
 	SkewDemoUS float64 // synthetic straggler: µs/iteration delay on worker 0
 	AssertDrop float64 // required fractional skew drop after a recut (0 = off)
 	Grow       int     // grow the fleet to this size at the first boundary
+
+	Heartbeat time.Duration // staleness bound for silent workers (0 = off)
 }
 
 // runDSL trains an application written purely in Orion's DSL on the
@@ -158,6 +160,12 @@ func runDSL(cfg dslConfig) error {
 	}
 	sess.SetCheckpointDir(cfg.CkptDir)
 	sess.SetCheckpointEvery(cfg.CkptEvery)
+	if cfg.Heartbeat > 0 {
+		// Arms both staleness detection (a silent worker is declared
+		// lost) and the step-stall bound that rescues wedged-but-alive
+		// links (e.g. a desynced stream after hostile corruption).
+		sess.SetHeartbeat(cfg.Heartbeat)
+	}
 	if cfg.Adapt {
 		sess.SetAdapt(cfg.AdaptSkew)
 	}

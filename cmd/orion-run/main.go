@@ -43,6 +43,7 @@ func main() {
 		skewDemo   = flag.Float64("skew-demo", 0, "inject a synthetic straggler: delay worker 0 this many microseconds per iteration (-engine dsl)")
 		assertDrop = flag.Float64("adapt-assert-drop", 0, "exit non-zero unless an adaptive recut cut the skew index by at least this fraction (e.g. 0.3)")
 		grow       = flag.Int("grow", 0, "grow the fleet to this many workers at the first pass boundary (-engine dsl)")
+		heartbeat  = flag.Duration("heartbeat", 0, "declare a silent worker lost after this long (-engine dsl; 0 disables staleness detection; use >= 3x the 500ms ping interval)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 			CkptDir: *ckptDir, CkptEvery: *ckptEvery,
 			Adapt: *adapt, AdaptSkew: *adaptSkew, SkewDemoUS: *skewDemo,
 			AssertDrop: *assertDrop, Grow: *grow,
+			Heartbeat: *heartbeat,
 		})
 		if tracer != nil {
 			obs.StopTracing()

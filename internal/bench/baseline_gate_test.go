@@ -66,12 +66,16 @@ func TestTransportBaselineThresholds(t *testing.T) {
 		t.Fatal(err)
 	}
 	var gobAllocs, rawAllocs int64 = -1, -1
+	var rawMB, noCRCMB float64 = -1, -1
 	for _, r := range d.Rows {
 		switch r.Path {
 		case "gob":
 			gobAllocs = r.AllocsPerRotation
 		case "raw":
 			rawAllocs = r.AllocsPerRotation
+			rawMB = r.MBPerSec
+		case "raw-nocrc":
+			noCRCMB = r.MBPerSec
 		}
 	}
 	if gobAllocs < 0 || rawAllocs < 0 {
@@ -79,6 +83,18 @@ func TestTransportBaselineThresholds(t *testing.T) {
 	}
 	if rawAllocs*5 > gobAllocs {
 		t.Errorf("raw codec allocates %d per rotation vs gob's %d — want >= 5x fewer", rawAllocs, gobAllocs)
+	}
+	// Wire integrity budget: the hardened raw path (CRC32C trailer +
+	// frame sequencing) must hold within 5% of the pre-hardening raw
+	// transport it replaced — raw-nocrc reproduces that path exactly,
+	// integrity layer off and the original narrow staging. Both rows
+	// come from the same baseline run on the same machine, so the ratio
+	// is machine-independent even though the absolute numbers are not.
+	if noCRCMB < 0 {
+		t.Fatalf("baseline missing the raw-nocrc path (regenerate with `make bench-transport`): rows = %+v", d.Rows)
+	}
+	if rawMB < 0.95*noCRCMB {
+		t.Errorf("raw path with integrity layer runs at %.1f MB/s vs %.1f MB/s without — over the 5%% checksum budget", rawMB, noCRCMB)
 	}
 }
 

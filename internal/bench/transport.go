@@ -39,7 +39,7 @@ type transportBaseline struct {
 // both rotation encodings.
 func measureTransport(rank, width int64) (*transportBaseline, error) {
 	out := &transportBaseline{
-		Description: "rotation transport: one dense partition shipped peer-to-peer and installed, per-message gob partition blobs vs the length-prefixed raw codec over pooled buffers; bytes include tag and framing overhead",
+		Description: "rotation transport: one dense partition shipped peer-to-peer and installed — per-message gob partition blobs, the hardened raw codec (CRC32C trailer + frame sequencing, wide staging), and raw-nocrc, a faithful reproduction of the pre-hardening raw path (no integrity layer, original 512-element staging); bytes include tag, framing, and trailer overhead",
 		Rank:        rank,
 		Width:       width,
 	}
@@ -47,12 +47,28 @@ func measureTransport(rank, width int64) (*transportBaseline, error) {
 	a.Map(func(float64) float64 { return 0.25 })
 	p := a.ExtractRange(1, 0, width)
 
-	for _, gobPath := range []bool{true, false} {
+	// plain selects the pre-hardening codec: no sequence numbers, no
+	// CRC32C trailer, and the original narrow staging chunks — the raw
+	// path exactly as it shipped before the integrity layer, so the
+	// baseline prices hardened-vs-unhardened as a same-run comparison.
+	variants := []struct {
+		name  string
+		gob   bool
+		plain bool
+	}{
+		{"gob", true, false},
+		{"raw", false, false},
+		{"raw-nocrc", false, true},
+	}
+	for _, v := range variants {
 		rb := runtime.NewRotationBench()
+		if v.plain {
+			rb = runtime.NewRotationBenchPlain()
+		}
 		var ack runtime.Msg
 		// Warm the codec and pools out of the measured region.
 		for i := 0; i < 3; i++ {
-			if err := rb.RoundTrip("W", p, gobPath, &ack); err != nil {
+			if err := rb.RoundTrip("W", p, v.gob, &ack); err != nil {
 				rb.Close()
 				return nil, err
 			}
@@ -62,7 +78,7 @@ func measureTransport(rank, width int64) (*transportBaseline, error) {
 		ns, allocs := benchNs(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if err := rb.RoundTrip("W", p, gobPath, &ack); err != nil {
+				if err := rb.RoundTrip("W", p, v.gob, &ack); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -73,10 +89,7 @@ func measureTransport(rank, width int64) (*transportBaseline, error) {
 			bytesPer = (rb.BytesSent() - before) / ops
 		}
 		rb.Close()
-		name := "raw"
-		if gobPath {
-			name = "gob"
-		}
+		name := v.name
 		out.Rows = append(out.Rows, transportRow{
 			Path:              name,
 			NsPerRotation:     round1(ns),

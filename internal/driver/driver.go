@@ -87,8 +87,9 @@ type Session struct {
 
 	// Reconfiguration triggers (adapt.go): adaptEnabled/adaptSkew arm
 	// measurement-driven re-cutting at loop boundaries, growTarget arms
-	// an elastic fleet grow, adaptProfile lets tests inject a
-	// deterministic weight profile, and adaptTrail records decisions.
+	// an elastic fleet grow, shrinkTarget arms a planned shrink at the
+	// next loop entry, adaptProfile lets tests inject a deterministic
+	// weight profile, and adaptTrail records decisions.
 	// lastSpacePart/lastTimePart stash the executable partitioners of
 	// the most recent attempt, mapping coordinates to the workers that
 	// owned them in the profiled segment.
@@ -97,6 +98,7 @@ type Session struct {
 	adaptProfile  func(kernel string, delta *obs.LoopReport) *analyze.WeightProfile
 	adaptTrail    []AdaptDecision
 	growTarget    int
+	shrinkTarget  int
 	lastSpacePart *sched.Partitioner
 	lastTimePart  *sched.Partitioner
 }

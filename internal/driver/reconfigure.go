@@ -1,11 +1,11 @@
 // Fleet reconfiguration: one quiesce → re-cut → re-place → resume
-// path shared by three callers. Crash recovery rebuilds a dead fleet
+// path shared by four callers. Crash recovery rebuilds a dead fleet
 // and restores the newest checkpoint; adaptive re-planning re-cuts the
 // partitions from measured per-worker cost at a loop boundary; elastic
-// grow admits new workers mid-run and re-cuts onto the enlarged fleet.
-// All three funnel through reconfigure(), and every resumption lands
-// at an exact (pass, step) position with array placement reproduced
-// for it.
+// grow admits new workers mid-run and re-cuts onto the enlarged fleet;
+// planned shrink re-forms at a smaller size at loop entry. All four
+// funnel through reconfigure(), and every resumption lands at an exact
+// (pass, step) position with array placement reproduced for it.
 package driver
 
 import (
@@ -18,7 +18,9 @@ import (
 	"orion/internal/dsm"
 	"orion/internal/lang"
 	"orion/internal/obs"
+	"orion/internal/plan"
 	"orion/internal/runtime"
+	"orion/internal/sched"
 )
 
 // resumePos is a loop position: the first (pass, step) still to run.
@@ -27,14 +29,15 @@ type resumePos struct {
 }
 
 // reconfigReason names which caller is asking the fleet to change
-// shape: a crash (ErrWorkerLost mid-loop), an adaptive re-cut, or an
-// elastic grow.
+// shape: a crash (ErrWorkerLost mid-loop), an adaptive re-cut, an
+// elastic grow, or a planned shrink.
 type reconfigReason string
 
 const (
 	reasonRecover reconfigReason = "recover"
 	reasonAdapt   reconfigReason = "adapt"
 	reasonGrow    reconfigReason = "grow"
+	reasonShrink  reconfigReason = "shrink"
 )
 
 // reconfigState is the bookkeeping one ParallelFor's reconfiguration
@@ -73,6 +76,15 @@ func (s *Session) runReconfigurable(e *compiledLoop, kernel string, passes int, 
 	}
 	rc := &reconfigState{entryClock: s.master.Clock(), floorWorkers: s.n}
 	start := resumePos{}
+	// A planned shrink fires at loop entry, before any state has been
+	// distributed: the whole loop then runs at the smaller size, so its
+	// result is bitwise-identical to a static run at that size.
+	if s.shrinkTarget > 0 {
+		if _, err := s.reconfigure(reasonShrink, e, kernel, rc, start, nil); err != nil {
+			return err
+		}
+		rc.floorWorkers = s.n
+	}
 	for {
 		stopPass := s.segmentStop(start.pass, passes)
 		if s.adaptEnabled {
@@ -166,6 +178,43 @@ func (s *Session) reconfigure(reason reconfigReason, e *compiledLoop, kernel str
 			Kind: "fleet.grow", Clock: s.master.Clock(),
 			Loop: kernel, Pass: at.pass, Step: at.step, Worker: -1,
 			Detail: fmt.Sprintf("%d -> %d workers", oldN, s.n),
+		})
+		return at, nil
+
+	case reasonShrink:
+		// Smaller fleet: fold accumulator contributions while the old
+		// executors are still alive, re-form at the target size, then
+		// re-cut the artifact onto the survivors from the raw iteration
+		// weights — exactly the materialization a fresh compile at the
+		// smaller size produces, so the next attempt's partitioner reuse
+		// check adopts cuts identical to a static run's.
+		for _, name := range lang.Accumulators(e.loop) {
+			v, err := s.master.AccumSum(name)
+			if err != nil {
+				return at, err
+			}
+			s.accumBase[name] += v
+		}
+		oldN, want := s.n, s.shrinkTarget
+		s.shrinkTarget = 0
+		if err := s.rebuildFleet(want); err != nil {
+			return at, err
+		}
+		if e.art != nil && !e.art.Space.IsZero() {
+			if k, kerr := e.art.Kind(); kerr == nil && (k == sched.Independent || k == sched.OneD || k == sched.TwoD) {
+				spaceW, timeW := s.coordCounts(e)
+				art, err := e.art.Recut(spaceW, timeW, s.n, s.n, plan.WeightsDigest(spaceW, timeW))
+				if err != nil {
+					return at, fmt.Errorf("driver: shrink recut of %q: %w", kernel, err)
+				}
+				e.art = art
+				obs.GetCounter("plan.repartition").Inc()
+			}
+		}
+		obs.Flight().Record(obs.FlightEvent{
+			Kind: "fleet.shrink", Clock: s.master.Clock(),
+			Loop: kernel, Pass: at.pass, Step: at.step, Worker: -1,
+			Detail: fmt.Sprintf("planned: %d -> %d workers", oldN, s.n),
 		})
 		return at, nil
 

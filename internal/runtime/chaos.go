@@ -25,6 +25,22 @@ const (
 	// and next write each sleep Delay (plus seeded jitter when Delay is
 	// zero) before proceeding.
 	FaultDelay
+	// FaultCorrupt flips one bit of the connection's next write: bit
+	// Offset modulo the write's length (seeded-random when Offset is
+	// zero). The caller's buffer is never mutated — the flip happens in
+	// a copy — so only the wire sees the damage. The receiving codec
+	// must detect it via the frame checksum, never apply it.
+	FaultCorrupt
+	// FaultTruncate delivers only the first half of the connection's
+	// next write, then severs — a peer dying mid-frame.
+	FaultTruncate
+	// FaultDuplicate delivers the connection's next write twice —
+	// replayed delivery the per-direction sequence numbers must reject.
+	FaultDuplicate
+	// FaultReorder swaps two queued writes: the connection's next write
+	// is held back and shipped after the following one — out-of-order
+	// delivery the sequence numbers must reject.
+	FaultReorder
 )
 
 func (k FaultKind) String() string {
@@ -35,6 +51,14 @@ func (k FaultKind) String() string {
 		return "drop"
 	case FaultDelay:
 		return "delay"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultTruncate:
+		return "truncate"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultReorder:
+		return "reorder"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -49,6 +73,9 @@ type FaultEvent struct {
 	Conn  int
 	Kind  FaultKind
 	Delay time.Duration
+	// Offset selects which bit a FaultCorrupt flips, modulo the length
+	// in bits of the write it lands on. Zero means a seeded-random bit.
+	Offset int64
 }
 
 // Chaos is a deterministic fault-injecting Transport wrapper: it
@@ -133,8 +160,12 @@ func (c *Chaos) applyLocked(ev FaultEvent) bool {
 	if ev.Kind == FaultDelay && delay == 0 {
 		delay = time.Duration(1+c.rng.Intn(10)) * time.Millisecond
 	}
+	offset := ev.Offset
+	if ev.Kind == FaultCorrupt && offset == 0 {
+		offset = 1 + c.rng.Int63n(1<<20)
+	}
 	for _, cc := range targets {
-		cc.apply(ev.Kind, delay)
+		cc.apply(ev.Kind, delay, offset)
 	}
 	return true
 }
@@ -155,21 +186,29 @@ func (c *Chaos) Dial(addr string) (net.Conn, error) {
 	return cc, nil
 }
 
-// chaosConn applies sever/drop/delay semantics over a real connection.
+// chaosConn applies the scripted fault semantics over a real
+// connection. The hostile write faults (corrupt/truncate/duplicate/
+// reorder) are one-shot: armed by apply, consumed by the next write.
 type chaosConn struct {
 	net.Conn
 
-	mu       sync.Mutex
-	severed  bool
-	dropped  bool
-	delay    time.Duration // one-shot, consumed by the next read and next write
-	rdelayed bool
-	wdelayed bool
-	unblock  chan struct{} // closed on sever/close to release dropped reads
-	closed   sync.Once
+	mu         sync.Mutex
+	severed    bool
+	dropped    bool
+	delay      time.Duration // one-shot, consumed by the next read and next write
+	rdelayed   bool
+	wdelayed   bool
+	corrupt    bool
+	corruptOff int64
+	truncate   bool
+	duplicate  bool
+	reorderArm bool
+	held       []byte        // a reordered write waiting for its successor
+	unblock    chan struct{} // closed on sever/close to release dropped reads
+	closed     sync.Once
 }
 
-func (c *chaosConn) apply(kind FaultKind, delay time.Duration) {
+func (c *chaosConn) apply(kind FaultKind, delay time.Duration, offset int64) {
 	c.mu.Lock()
 	switch kind {
 	case FaultSever:
@@ -179,6 +218,15 @@ func (c *chaosConn) apply(kind FaultKind, delay time.Duration) {
 	case FaultDelay:
 		c.delay = delay
 		c.rdelayed, c.wdelayed = false, false
+	case FaultCorrupt:
+		c.corrupt = true
+		c.corruptOff = offset
+	case FaultTruncate:
+		c.truncate = true
+	case FaultDuplicate:
+		c.duplicate = true
+	case FaultReorder:
+		c.reorderArm = true
 	}
 	c.mu.Unlock()
 	if kind == FaultSever {
@@ -240,10 +288,67 @@ func (c *chaosConn) Write(p []byte) (int, error) {
 		d := c.delay
 		c.mu.Unlock()
 		time.Sleep(d)
-	} else {
-		c.mu.Unlock()
+		c.mu.Lock()
 	}
-	return c.Conn.Write(p)
+	if c.reorderArm && c.held == nil && len(p) > 0 {
+		// Hold this write back; it ships after the next one. Success is
+		// reported now, as a reordering network would.
+		c.held = append([]byte(nil), p...)
+		c.reorderArm = false
+		c.mu.Unlock()
+		return len(p), nil
+	}
+	var held []byte
+	if c.held != nil {
+		held, c.held = c.held, nil
+	}
+	doCorrupt, off := c.corrupt, c.corruptOff
+	c.corrupt = false
+	doTrunc := c.truncate
+	c.truncate = false
+	doDup := c.duplicate
+	c.duplicate = false
+	c.mu.Unlock()
+
+	out := p
+	if doCorrupt && len(p) > 0 {
+		// Flip one bit in a copy: the caller's buffer (bufio internals,
+		// codec scratch) must never be mutated behind its back.
+		q := append([]byte(nil), p...)
+		bit := off % int64(len(q)*8)
+		if bit < 0 {
+			bit += int64(len(q) * 8)
+		}
+		q[bit/8] ^= 1 << uint(bit%8)
+		out = q
+	}
+	if doTrunc {
+		n := len(out) / 2
+		if n > 0 {
+			if _, err := c.Conn.Write(out[:n]); err != nil {
+				return 0, err
+			}
+		}
+		c.apply(FaultSever, 0, 0)
+		return n, fmt.Errorf("chaos: connection truncated mid-write")
+	}
+	if _, err := c.Conn.Write(out); err != nil {
+		return 0, err
+	}
+	if doDup {
+		// Best-effort replay: the duplicate's delivery failing must not
+		// fail the original, already-delivered write.
+		if _, err := c.Conn.Write(out); err != nil {
+			return len(p), nil
+		}
+	}
+	if held != nil {
+		// Release the reordered predecessor after its successor.
+		if _, err := c.Conn.Write(held); err != nil {
+			return len(p), nil
+		}
+	}
+	return len(p), nil
 }
 
 func (c *chaosConn) Close() error {

@@ -71,6 +71,10 @@ type Executor struct {
 	misses int64
 	shards *shardSet
 
+	// pingOverride, when non-zero, replaces the master-shipped heartbeat
+	// ping interval (SetPingInterval / orion-worker -heartbeat).
+	pingOverride time.Duration
+
 	// Observability: the main goroutine's span ring (nil when tracing is
 	// off — all methods no-op) and cached metric handles. Counters are
 	// atomic adds on preallocated cells, so the steady-state block loop
@@ -146,6 +150,13 @@ func NewExecutor(t Transport, masterAddr, peerAddr string, id int) (*Executor, e
 	}
 	return e, nil
 }
+
+// SetPingInterval overrides the master-shipped heartbeat ping interval
+// for this executor (zero keeps the master's choice). Pair it with the
+// master's SetHeartbeat staleness timeout — the timeout should be at
+// least ~3 ping intervals, or healthy workers read as stale. Call
+// before Start.
+func (e *Executor) SetPingInterval(d time.Duration) { e.pingOverride = d }
 
 // Start runs the executor's message loop in a goroutine. The returned
 // channel yields the loop's exit error (nil on clean shutdown).
@@ -269,8 +280,12 @@ func (e *Executor) run() error {
 		e.sendTo = newPeerCodec(conn, fmt.Sprintf("exec%d/ring", e.id))
 		defer e.sendTo.close()
 	}
-	if setup.HeartbeatMs > 0 {
-		go e.heartbeat(time.Duration(setup.HeartbeatMs) * time.Millisecond)
+	hbInterval := time.Duration(setup.HeartbeatMs) * time.Millisecond
+	if e.pingOverride > 0 {
+		hbInterval = e.pingOverride
+	}
+	if hbInterval > 0 {
+		go e.heartbeat(hbInterval)
 	}
 	go e.readMaster()
 
@@ -302,6 +317,10 @@ func (e *Executor) run() error {
 				return err
 			}
 		case MsgDefineLoop:
+			// The declared arrays bound what a legitimate raw rotation
+			// frame can carry — raise the wire-integrity element cap to
+			// match the fleet's configuration.
+			raiseElemCapFromDims(msg.ArrayDims)
 			c := lookupCompiler()
 			if c == nil {
 				e.master.send(&Msg{Kind: MsgError, Err: "no loop compiler installed on this executor"})
@@ -448,7 +467,7 @@ func (e *Executor) servePeer(c *codec) {
 			out = Msg{Kind: MsgPrefetchResp, Array: in.Array, Offsets: in.Offsets, Values: vals}
 			c.send(&out)
 		case MsgUpdateBatch:
-			if err := e.shards.serveUpdate(in.Array, in.Offsets, in.Values, in.Absolute, in.Epoch); err != nil {
+			if err := e.shards.serveUpdate(in.Array, in.ExecutorID, in.Offsets, in.Values, in.Absolute, in.Epoch); err != nil {
 				out = Msg{Kind: MsgError, Err: err.Error()}
 				c.send(&out)
 				continue
@@ -790,7 +809,7 @@ func (e *Executor) bulkFetch(array string, offs []int64) error {
 func (e *Executor) flushServed(array string, offs []int64, vals []float64, absolute bool) error {
 	t := e.shards.table(array)
 	if t == nil {
-		if err := e.master.send(&Msg{Kind: MsgUpdateBatch, Array: array, Offsets: offs, Values: vals, Absolute: absolute, Epoch: e.ctx.stepEpoch}); err != nil {
+		if err := e.master.send(&Msg{Kind: MsgUpdateBatch, ExecutorID: e.id, Array: array, Offsets: offs, Values: vals, Absolute: absolute, Epoch: e.ctx.stepEpoch}); err != nil {
 			return fmt.Errorf("runtime: executor %d: update send: %v: %w", e.id, err, ErrWorkerLost)
 		}
 		return nil
@@ -813,7 +832,7 @@ func (e *Executor) flushServed(array string, offs []int64, vals []float64, absol
 			co[i], cv[i] = offs[j], vals[j]
 		}
 		if o == e.id {
-			if err := e.shards.serveUpdate(array, co, cv, absolute, e.ctx.stepEpoch); err != nil {
+			if err := e.shards.serveUpdate(array, e.id, co, cv, absolute, e.ctx.stepEpoch); err != nil {
 				return err
 			}
 			continue
@@ -822,7 +841,7 @@ func (e *Executor) flushServed(array string, offs []int64, vals []float64, absol
 		if err != nil {
 			return fmt.Errorf("%v: %w", err, ErrWorkerLost)
 		}
-		if err := c.send(&Msg{Kind: MsgUpdateBatch, Array: array, Offsets: co, Values: cv, Absolute: absolute, Epoch: e.ctx.stepEpoch}); err != nil {
+		if err := c.send(&Msg{Kind: MsgUpdateBatch, ExecutorID: e.id, Array: array, Offsets: co, Values: cv, Absolute: absolute, Epoch: e.ctx.stepEpoch}); err != nil {
 			return fmt.Errorf("runtime: executor %d: shard owner %d unreachable (%v): %w", e.id, o, err, ErrWorkerLost)
 		}
 		ack, err := c.recv()

@@ -82,8 +82,11 @@ type Master struct {
 	// servedPending stages update batches for master-held served
 	// arrays, exactly like executor shard owners do: a batch folds in
 	// on the first read from a later epoch (or any unstamped access),
-	// keeping master-served reads step-consistent too.
+	// keeping master-served reads step-consistent too. servedSeen keys
+	// the currently staged batches per array for duplicate-delivery
+	// suppression, mirroring shardTable.seen.
 	servedPending map[string][]stagedUpdate
+	servedSeen    map[string]map[updKey]struct{}
 
 	ch       *masterChans
 	lastSeen []*atomic.Int64 // liveness timestamps, by executor id
@@ -124,6 +127,7 @@ func Listen(t Transport, addr string, n int) (*Master, error) {
 		conns:         make([]*codec, n),
 		served:        map[string]*dsm.DistArray{},
 		servedPending: map[string][]stagedUpdate{},
+		servedSeen:    map[string]map[updKey]struct{}{},
 		ch:            newMasterChans(n),
 		lastSeen:      freshSeen(n),
 		arrayDims:     map[string][]int64{},
@@ -280,12 +284,30 @@ func (m *Master) handleConn(id int, c *codec, ch *masterChans, seen *atomic.Int6
 		case MsgUpdateBatch:
 			m.mu.Lock()
 			if arr := m.served[msg.Array]; arr != nil {
-				m.servedPending[msg.Array] = append(m.servedPending[msg.Array], stagedUpdate{
+				u := stagedUpdate{
+					src:      id,
 					epoch:    msg.Epoch,
 					offs:     append([]int64(nil), msg.Offsets...),
 					vals:     append([]float64(nil), msg.Values...),
 					absolute: msg.Absolute,
-				})
+				}
+				// Duplicate-delivery suppression, keyed like
+				// shardTable.stage (epoch 0 batches are legacy unstamped
+				// paths and never deduplicated).
+				dup := false
+				if u.epoch > 0 {
+					seen := m.servedSeen[msg.Array]
+					if seen == nil {
+						seen = map[updKey]struct{}{}
+						m.servedSeen[msg.Array] = seen
+					}
+					if _, dup = seen[u.key()]; !dup {
+						seen[u.key()] = struct{}{}
+					}
+				}
+				if !dup {
+					m.servedPending[msg.Array] = append(m.servedPending[msg.Array], u)
+				}
 			}
 			m.mu.Unlock()
 		case MsgError:
@@ -512,10 +534,21 @@ func (m *Master) ParallelFor(def LoopDef) error {
 	return nil
 }
 
+// stepStallFactor bounds how long a step barrier waits relative to the
+// armed heartbeat timeout before declaring the step wedged. Heartbeats
+// prove a worker process is alive, not that it is making progress: a
+// desynchronized or half-delivered frame can leave a reader blocked
+// forever while its heartbeat goroutine keeps pinging. The stall bound
+// converts that wedge into a worker loss the recovery path handles.
+const stepStallFactor = 10
+
 // stepBarrier waits for every executor's BlockDone, surfacing executor
 // errors and — when a heartbeat timeout is armed — workers that have
-// gone silent even though their connections are still open.
+// gone silent even though their connections are still open, or steps
+// that have stalled past stepStallFactor heartbeat timeouts with every
+// worker still pinging (a wedged link, not a dead process).
 func (m *Master) stepBarrier() error {
+	start := time.Now()
 	for done := 0; done < m.n; {
 		if m.hbTimeout > 0 {
 			select {
@@ -530,6 +563,9 @@ func (m *Master) stepBarrier() error {
 					if now-seen.Load() > int64(m.hbTimeout) {
 						return fmt.Errorf("runtime: executor %d heartbeat stale (silent > %v): %w", id, m.hbTimeout, ErrWorkerLost)
 					}
+				}
+				if time.Since(start) > stepStallFactor*m.hbTimeout {
+					return fmt.Errorf("runtime: step stalled > %v with live heartbeats (wedged link): %w", stepStallFactor*m.hbTimeout, ErrWorkerLost)
 				}
 			}
 			continue
@@ -642,9 +678,12 @@ func (m *Master) Gather(array string) (*dsm.DistArray, error) {
 	if !ok {
 		return nil, fmt.Errorf("runtime: gather of unknown array %q", array)
 	}
-	for _, c := range m.conns {
+	for i, c := range m.conns {
 		if err := c.send(&Msg{Kind: MsgGather, Array: array}); err != nil {
-			return nil, err
+			// A send failing on a registered worker conn means that
+			// worker is gone (crashed, or its link was condemned as
+			// corrupt) — recoverable, exactly like a loss mid-step.
+			return nil, fmt.Errorf("runtime: gather send to executor %d failed (%v): %w", i, err, ErrWorkerLost)
 		}
 	}
 	var out *dsm.DistArray
@@ -698,15 +737,16 @@ func (m *Master) foldServed(name string, epoch int64) {
 				arr.AddAt(u.vals[i], arr.Unflatten(off)...)
 			}
 		}
+		delete(m.servedSeen[name], u.key())
 	}
 	m.servedPending[name] = kept
 }
 
 // AccumSum aggregates an accumulator across executors with +.
 func (m *Master) AccumSum(name string) (float64, error) {
-	for _, c := range m.conns {
+	for i, c := range m.conns {
 		if err := c.send(&Msg{Kind: MsgAccumQuery, AccName: name}); err != nil {
-			return 0, err
+			return 0, fmt.Errorf("runtime: accum query send to executor %d failed (%v): %w", i, err, ErrWorkerLost)
 		}
 	}
 	var total float64
@@ -734,9 +774,14 @@ func (m *Master) Shutdown() {
 }
 
 // DefineLoop ships a loop definition to every executor, which compiles
-// it into a kernel via the installed LoopCompiler.
+// it into a kernel via the installed LoopCompiler. The declared array
+// extents also configure the wire-integrity layer: the raw-frame
+// element cap is raised to cover the largest declared array, so header
+// bounds track the fleet's actual configuration instead of a blanket
+// ceiling.
 func (m *Master) DefineLoop(def *Msg) error {
 	def.Kind = MsgDefineLoop
+	raiseElemCapFromDims(def.ArrayDims)
 	for _, c := range m.conns {
 		if err := c.send(def); err != nil {
 			return err

@@ -20,10 +20,28 @@ import (
 // epochs, making served reads step-consistent (and so deterministic)
 // no matter how block execution interleaves across executors.
 type stagedUpdate struct {
+	src      int
 	epoch    int64
 	offs     []int64
 	vals     []float64
 	absolute bool
+}
+
+// updKey identifies one sender's update batch for duplicate-delivery
+// suppression. An executor flushes at most one batch per (array, epoch,
+// absolute-flag) per block, and runs one block per step, so a second
+// arrival with the same key within the staging window is a replayed
+// delivery — dropped, never double-applied. The codec's sequence
+// numbers already condemn duplicated frames at the transport; this is
+// the idempotence backstop at the state layer.
+type updKey struct {
+	src      int
+	epoch    int64
+	absolute bool
+}
+
+func (u stagedUpdate) key() updKey {
+	return updKey{src: u.src, epoch: u.epoch, absolute: u.absolute}
 }
 
 // shardTable tracks one served array's sharding on an executor.
@@ -38,8 +56,11 @@ type shardTable struct {
 	// offset / lastStride = last-dim coordinate.
 	lastStride int64
 	// pending holds staged updates in arrival order, folded in on the
-	// first read from a later epoch.
+	// first read from a later epoch. seen tracks the keys of batches
+	// currently staged (pruned as they fold), so a duplicated delivery
+	// cannot double-apply.
 	pending []stagedUpdate
+	seen    map[updKey]struct{}
 }
 
 // fold applies every pending update from an epoch before the reader's
@@ -58,8 +79,26 @@ func (t *shardTable) fold(epoch int64) {
 				t.add(off, u.vals[i])
 			}
 		}
+		delete(t.seen, u.key())
 	}
 	t.pending = kept
+}
+
+// stage appends one update batch unless an identical delivery is
+// already staged (duplicate suppression — see updKey). Epoch 0 batches
+// come from unstamped legacy paths and are never deduplicated.
+func (t *shardTable) stage(u stagedUpdate) {
+	if u.epoch > 0 {
+		k := u.key()
+		if _, dup := t.seen[k]; dup {
+			return
+		}
+		if t.seen == nil {
+			t.seen = map[updKey]struct{}{}
+		}
+		t.seen[k] = struct{}{}
+	}
+	t.pending = append(t.pending, u)
 }
 
 func newShardTable(dims, boundaries []int64, local *dsm.Partition) *shardTable {
@@ -165,15 +204,18 @@ func (s *shardSet) serveRead(array string, offs []int64, epoch int64) ([]float64
 // direct writes under ordered wavefront execution, where the schedule
 // guarantees a single writer). The batch folds in when a later-epoch
 // read (or a gather) arrives; offsets and values are copied because
-// the serving loop reuses the decoded message's storage.
-func (s *shardSet) serveUpdate(array string, offs []int64, vals []float64, absolute bool, epoch int64) error {
+// the serving loop reuses the decoded message's storage. src is the
+// sending executor's id: together with the epoch it keys
+// duplicate-delivery suppression, so a replayed batch stages once.
+func (s *shardSet) serveUpdate(array string, src int, offs []int64, vals []float64, absolute bool, epoch int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t := s.tables[array]
 	if t == nil || t.local == nil {
 		return fmt.Errorf("runtime: executor %d serves no shard of %q", s.selfID, array)
 	}
-	t.pending = append(t.pending, stagedUpdate{
+	t.stage(stagedUpdate{
+		src:      src,
 		epoch:    epoch,
 		offs:     append([]int64(nil), offs...),
 		vals:     append([]float64(nil), vals...),
